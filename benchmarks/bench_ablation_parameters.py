@@ -1,0 +1,28 @@
+"""Benchmark: single-parameter sensitivity + coalescing ablations."""
+
+from repro.experiments.ablation import (
+    run_ablation_coalescing,
+    run_ablation_parameters,
+)
+
+
+def test_ablation_parameters(benchmark, cache):
+    """1-D slices through the tuned optimum (why all four parameters matter)."""
+    result = benchmark.pedantic(
+        lambda: run_ablation_parameters(cache=cache, n_dms=1024),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    print()
+    print(result.render())
+    assert result.rows
+
+
+def test_ablation_coalescing(benchmark, cache):
+    """The Sec. III-B unaligned-read overhead, isolated."""
+    result = benchmark.pedantic(
+        lambda: run_ablation_coalescing(cache=cache, n_dms=1024),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    print()
+    print(result.render())
+    assert result.rows

@@ -1,0 +1,14 @@
+"""Benchmark: Xeon Phi OpenCL vs projected OpenMP (paper's future work)."""
+
+from repro.experiments.ablation import run_ablation_phi
+
+
+def test_ablation_phi(benchmark, cache):
+    """The paper's stated future work, quantified by the model."""
+    result = benchmark.pedantic(
+        lambda: run_ablation_phi(cache=cache),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    print()
+    print(result.render())
+    assert result.rows

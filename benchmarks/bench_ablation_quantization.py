@@ -1,0 +1,14 @@
+"""Benchmark: FP32 vs 8-bit input ablation (the paper's FP32 assumption)."""
+
+from repro.experiments.ablation import run_ablation_quantization
+
+
+def test_ablation_quantization(benchmark, cache):
+    """How much of the memory wall the 4-byte-sample assumption costs."""
+    result = benchmark.pedantic(
+        lambda: run_ablation_quantization(cache=cache, n_dms=1024),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    print()
+    print(result.render())
+    assert result.rows

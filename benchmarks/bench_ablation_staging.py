@@ -1,0 +1,14 @@
+"""Benchmark: local-memory staging ablation (DESIGN.md §4 mechanism)."""
+
+from repro.experiments.ablation import run_ablation_staging
+
+
+def test_ablation_staging(benchmark, cache):
+    """Quantify the staging path's contribution per device and setup."""
+    result = benchmark.pedantic(
+        lambda: run_ablation_staging(cache=cache, n_dms=1024),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    print()
+    print(result.render())
+    assert result.rows

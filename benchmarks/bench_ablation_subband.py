@@ -1,0 +1,59 @@
+"""Benchmark: subband (two-step) dedispersion ablation.
+
+Covers both the model-level cost table (paper-scale setups) and a
+wall-clock comparison of the functional brute-force versus two-step
+executors on laptop-scale data.
+"""
+
+import numpy as np
+import pytest
+
+from repro.astro.dispersion import max_delay_samples
+from repro.astro.dm_trials import DMTrialGrid
+from repro.astro.observation import ObservationSetup
+from repro.baselines.cpu_reference import dedisperse_vectorized
+from repro.core.subband import SubbandPlan
+from repro.experiments.ablation import run_ablation_subband
+
+SETUP = ObservationSetup(
+    name="bench-subband",
+    channels=64,
+    lowest_frequency=300.0,
+    channel_bandwidth=0.5,
+    samples_per_second=4000,
+    samples_per_batch=4000,
+)
+GRID = DMTrialGrid(n_dms=64, step=0.5)
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(1)
+    t = SETUP.samples_per_batch + max_delay_samples(SETUP, GRID.last)
+    return rng.normal(size=(SETUP.channels, t)).astype(np.float32)
+
+
+def test_ablation_subband_table(benchmark):
+    """Model-level cost/accuracy table at paper scale."""
+    result = benchmark.pedantic(
+        lambda: run_ablation_subband(n_dms=2048),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    print()
+    print(result.render())
+    assert result.rows
+
+
+def test_bruteforce_wallclock(benchmark, data):
+    """Wall-clock: brute-force functional dedispersion."""
+    out = benchmark(dedisperse_vectorized, data, SETUP, GRID, 4000)
+    assert out.shape == (64, 4000)
+
+
+def test_subband_wallclock(benchmark, data):
+    """Wall-clock: two-step functional dedispersion (8 subbands, 4x)."""
+    plan = SubbandPlan(
+        setup=SETUP, grid=GRID, n_subbands=8, coarse_factor=4
+    )
+    out = benchmark(plan.execute, data, 4000)
+    assert out.shape == (64, 4000)

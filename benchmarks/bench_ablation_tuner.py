@@ -1,0 +1,14 @@
+"""Benchmark: tuning-strategy ablation (exhaustive vs heuristics)."""
+
+from repro.experiments.ablation import run_ablation_tuner
+
+
+def test_ablation_tuner(benchmark):
+    """Exhaustive sweep vs budgeted random search vs hill climbing."""
+    result = benchmark.pedantic(
+        lambda: run_ablation_tuner(n_dms=1024, budget=40),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    print()
+    print(result.render())
+    assert result.rows

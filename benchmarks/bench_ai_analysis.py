@@ -1,0 +1,11 @@
+"""Benchmark: the arithmetic-intensity analysis (Eqs. 2-3, Sec. V-C)."""
+
+from repro.experiments.analysis_ai import run_ai
+
+from benchmarks.conftest import run_and_print
+
+
+def test_ai_analysis(benchmark, cache):
+    """AI bounds, exposed/practical reuse, and roofline positions."""
+    result = run_and_print(benchmark, run_ai, cache=cache, n_dms=1024)
+    assert any(row[1] == "(bounds)" for row in result.rows)

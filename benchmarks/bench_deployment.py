@@ -1,0 +1,12 @@
+"""Benchmark: the Sec. V-D Apertif deployment sizing (50 GPUs vs CPUs)."""
+
+from repro.experiments.deployment import run_deployment
+
+from benchmarks.conftest import run_and_print
+
+
+def test_deployment(benchmark):
+    """Devices needed to dedisperse 2,000 DMs x 450 beams in real time."""
+    result = run_and_print(benchmark, run_deployment, n_dms=2000, n_beams=450)
+    by_device = {row[0]: row for row in result.rows}
+    assert by_device["HD7970"][3] == 50

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig. 2 (tuned work-items per work-group, Apertif)."""
+
+from repro.experiments.fig_tuning import run_fig2
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig02_workitems_apertif(benchmark, cache, instances):
+    """Tuning the number of work-items per work-group, Apertif (Fig. 2)."""
+    result = run_and_print(
+        benchmark, run_fig2, cache=cache, instances=instances
+    )
+    assert set(result.series)

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig. 3 (tuned work-items per work-group, LOFAR)."""
+
+from repro.experiments.fig_tuning import run_fig3
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig03_workitems_lofar(benchmark, cache, instances):
+    """Tuning the number of work-items per work-group, LOFAR (Fig. 3)."""
+    result = run_and_print(
+        benchmark, run_fig3, cache=cache, instances=instances
+    )
+    assert set(result.series)

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig. 4 (tuned registers per work-item, Apertif)."""
+
+from repro.experiments.fig_tuning import run_fig4
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig04_registers_apertif(benchmark, cache, instances):
+    """Tuning the number of registers per work-item, Apertif (Fig. 4)."""
+    result = run_and_print(
+        benchmark, run_fig4, cache=cache, instances=instances
+    )
+    assert set(result.series)

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig. 5 (tuned registers per work-item, LOFAR)."""
+
+from repro.experiments.fig_tuning import run_fig5
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig05_registers_lofar(benchmark, cache, instances):
+    """Tuning the number of registers per work-item, LOFAR (Fig. 5)."""
+    result = run_and_print(
+        benchmark, run_fig5, cache=cache, instances=instances
+    )
+    assert set(result.series)

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig. 6 (auto-tuned performance, Apertif)."""
+
+from repro.experiments.fig_performance import run_fig6
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig06_performance_apertif(benchmark, cache, instances):
+    """Performance of auto-tuned dedispersion, Apertif (Fig. 6)."""
+    result = run_and_print(
+        benchmark, run_fig6, cache=cache, instances=instances
+    )
+    assert set(result.series)

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig. 7 (auto-tuned performance, LOFAR)."""
+
+from repro.experiments.fig_performance import run_fig7
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig07_performance_lofar(benchmark, cache, instances):
+    """Performance of auto-tuned dedispersion, LOFAR (Fig. 7)."""
+    result = run_and_print(
+        benchmark, run_fig7, cache=cache, instances=instances
+    )
+    assert set(result.series)

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig. 8 (SNR of the optimum, Apertif)."""
+
+from repro.experiments.fig_snr import run_fig8
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig08_snr_apertif(benchmark, cache, instances):
+    """Signal-to-noise ratio of the optimum, Apertif (Fig. 8)."""
+    result = run_and_print(
+        benchmark, run_fig8, cache=cache, instances=instances
+    )
+    assert set(result.series)

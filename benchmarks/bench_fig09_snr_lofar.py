@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig. 9 (SNR of the optimum, LOFAR)."""
+
+from repro.experiments.fig_snr import run_fig9
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig09_snr_lofar(benchmark, cache, instances):
+    """Signal-to-noise ratio of the optimum, LOFAR (Fig. 9)."""
+    result = run_and_print(
+        benchmark, run_fig9, cache=cache, instances=instances
+    )
+    assert set(result.series)

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Fig. 10 (performance histogram, HD7970/Apertif)."""
+
+from repro.analysis.reporting import format_histogram
+from repro.astro.observation import apertif
+from repro.core.stats import performance_histogram
+from repro.experiments.fig_snr import run_fig10
+from repro.hardware.catalog import hd7970
+
+
+def test_fig10_histogram(benchmark, cache):
+    """Distribution of the configurations over performance (Fig. 10)."""
+    result = benchmark.pedantic(
+        lambda: run_fig10(cache=cache, n_dms=1024),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    # Render the ASCII-bar view of the same histogram.
+    sweep = cache.sweep(hd7970(), apertif(), 1024)
+    counts, edges = performance_histogram(sweep.population_gflops)
+    print()
+    print(format_histogram(counts, edges, title=result.title))
+    assert sum(result.series["configurations"]) == sweep.n_configurations

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig. 11 (0-DM performance, Apertif)."""
+
+from repro.experiments.fig_zerodm import run_fig11
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig11_zerodm_apertif(benchmark, cache, instances):
+    """Performance in a 0 DM scenario, Apertif (Fig. 11)."""
+    result = run_and_print(
+        benchmark, run_fig11, cache=cache, instances=instances
+    )
+    assert set(result.series)

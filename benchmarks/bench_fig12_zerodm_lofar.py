@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig. 12 (0-DM performance, LOFAR)."""
+
+from repro.experiments.fig_zerodm import run_fig12
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig12_zerodm_lofar(benchmark, cache, instances):
+    """Performance in a 0 DM scenario, LOFAR (Fig. 12)."""
+    result = run_and_print(
+        benchmark, run_fig12, cache=cache, instances=instances
+    )
+    assert set(result.series)

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig. 13 (speedup over fixed configuration, Apertif)."""
+
+from repro.experiments.fig_speedup import run_fig13
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig13_fixed_apertif(benchmark, cache, instances):
+    """Speedup of auto-tuning over the best fixed configuration, Apertif (Fig. 13)."""
+    result = run_and_print(
+        benchmark, run_fig13, cache=cache, instances=instances
+    )
+    assert set(result.series)

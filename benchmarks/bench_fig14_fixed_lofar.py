@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig. 14 (speedup over fixed configuration, LOFAR)."""
+
+from repro.experiments.fig_speedup import run_fig14
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig14_fixed_lofar(benchmark, cache, instances):
+    """Speedup of auto-tuning over the best fixed configuration, LOFAR (Fig. 14)."""
+    result = run_and_print(
+        benchmark, run_fig14, cache=cache, instances=instances
+    )
+    assert set(result.series)

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig. 15 (speedup over the CPU implementation, Apertif)."""
+
+from repro.experiments.fig_speedup import run_fig15
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig15_cpu_apertif(benchmark, cache, instances):
+    """Speedup over the OpenMP+AVX CPU implementation, Apertif (Fig. 15)."""
+    result = run_and_print(
+        benchmark, run_fig15, cache=cache, instances=instances
+    )
+    assert set(result.series)

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig. 16 (speedup over the CPU implementation, LOFAR)."""
+
+from repro.experiments.fig_speedup import run_fig16
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig16_cpu_lofar(benchmark, cache, instances):
+    """Speedup over the OpenMP+AVX CPU implementation, LOFAR (Fig. 16)."""
+    result = run_and_print(
+        benchmark, run_fig16, cache=cache, instances=instances
+    )
+    assert set(result.series)

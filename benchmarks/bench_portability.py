@@ -1,0 +1,14 @@
+"""Benchmark: the Pennycook performance-portability experiment."""
+
+from repro.experiments.portability import run_portability
+
+
+def test_portability(benchmark, cache):
+    """PP of tuned vs fixed vs single-configuration deployment."""
+    result = benchmark.pedantic(
+        lambda: run_portability(cache=cache, n_dms=1024),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    print()
+    print(result.render())
+    assert len(result.rows) == 2

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table I (accelerator characteristics)."""
+
+from repro.experiments.table1 import run_table1
+
+from benchmarks.conftest import run_and_print
+
+
+def test_table1(benchmark):
+    """Table I: the five many-core accelerators and their peaks."""
+    result = run_and_print(benchmark, run_table1)
+    assert len(result.rows) == 5

@@ -1,0 +1,26 @@
+"""Wall-clock benchmark of the auto-tuner itself.
+
+The paper argues auto-tuning is "the only feasible way to properly
+configure" the kernel; this benchmark shows the sweep is cheap (hundreds
+of configurations per second through the analytic model), i.e. tuning
+cost is negligible next to an observation.
+"""
+
+from repro.astro.dm_trials import DMTrialGrid
+from repro.astro.observation import apertif, lofar
+from repro.core.tuner import AutoTuner
+from repro.hardware.catalog import hd7970, gtx680
+
+
+def test_tune_hd7970_apertif(benchmark):
+    """Full sweep: HD7970, Apertif, 1,024 DMs."""
+    tuner = AutoTuner(hd7970(), apertif())
+    result = benchmark(tuner.tune, DMTrialGrid(1024))
+    assert result.n_configurations > 100
+
+
+def test_tune_gtx680_lofar(benchmark):
+    """Full sweep: GTX 680, LOFAR, 1,024 DMs."""
+    tuner = AutoTuner(gtx680(), lofar())
+    result = benchmark(tuner.tune, DMTrialGrid(1024))
+    assert result.n_configurations > 100

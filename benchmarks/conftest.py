@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``bench_*`` module regenerates one of the paper's tables or figures
+and prints the series it reports; pytest-benchmark times the regeneration.
+A session-scoped sweep cache means the full-figure set costs one tuning
+sweep per (device, setup, instance), not one per figure.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+from repro.constants import INPUT_INSTANCES
+from repro.experiments import SweepCache
+
+
+@pytest.fixture(scope="session")
+def cache() -> SweepCache:
+    """Tuning sweeps shared across every figure benchmark."""
+    return SweepCache()
+
+
+@pytest.fixture(scope="session")
+def instances() -> tuple[int, ...]:
+    """The paper's 12 input instances (2 .. 4,096 DMs)."""
+    return INPUT_INSTANCES
+
+
+def run_and_print(benchmark, driver, **kwargs):
+    """Benchmark one experiment driver and print its paper-style output."""
+    result = benchmark.pedantic(
+        lambda: driver(**kwargs), rounds=1, iterations=1, warmup_rounds=0
+    )
+    print()
+    print(result.render())
+    return result

@@ -1,0 +1,78 @@
+"""LOFAR-style single-pulse transient search with a scattered pulse.
+
+Fast radio transients at LOFAR frequencies arrive heavily dispersed *and*
+scattered (an exponential tail from multi-path propagation).  This example
+injects one such single pulse — not a periodic pulsar — into a noisy
+observation, dedisperses over a fine DM grid, and localises the burst in
+the (DM, time) plane, printing a small ASCII bow-tie plot: the classic
+signature a single-pulse pipeline looks for.
+
+Run with::
+
+    python examples/lofar_transient_search.py
+"""
+
+import numpy as np
+
+from repro import DMTrialGrid, ObservationSetup, SyntheticPulsar, gtx_titan
+from repro.astro.pulse import scattered_profile
+from repro.astro.signal_gen import generate_observation
+from repro.astro.snr import best_boxcar_snr, detect_dm
+from repro.core.dedisperse import dedisperse
+
+
+def main() -> int:
+    setup = ObservationSetup(
+        name="mini-lofar",
+        channels=32,
+        lowest_frequency=138.0,
+        channel_bandwidth=6.0 / 32.0,
+        samples_per_second=1000,
+        samples_per_batch=1000,
+    )
+    grid = DMTrialGrid(n_dms=64, step=0.25)
+    true_dm = 9.0
+
+    # A single burst: period longer than the observation => one pulse.
+    burst = SyntheticPulsar(
+        period_seconds=2.0,
+        dm=true_dm,
+        amplitude=1.3,
+        profile=scattered_profile(width=0.004, tail=0.02, centre=0.25),
+        spectral_index=-1.5,  # steep spectrum, brighter at low frequency
+    )
+    data = generate_observation(
+        setup,
+        duration_seconds=1.0,
+        pulsars=[burst],
+        max_dm=grid.last,
+        rng=np.random.default_rng(7),
+    )
+    print(f"setup : {setup.describe()}")
+    print(f"burst : DM {true_dm}, scattered profile, spectral index -1.5")
+
+    output, plan = dedisperse(data, setup, grid, device=gtx_titan())
+    print(f"plan  : {plan.config.describe()} on {plan.device.name}")
+
+    detection = detect_dm(output, grid.values)
+    print(
+        f"found : DM {detection.dm:.2f} at sample {detection.offset} "
+        f"(S/N {detection.snr:.1f}, width {detection.width})"
+    )
+
+    # ASCII bow-tie: S/N per trial DM, peaking at the burst's DM.
+    print("\nS/N vs trial DM (the single-pulse 'bow tie'):")
+    snrs = detection.snr_per_trial
+    for i in range(0, grid.n_dms, 4):
+        snr, _, _ = best_boxcar_snr(output[i], max_width=32)
+        bar = "#" * max(int(snr), 0)
+        marker = " <-- true DM" if abs(grid.values[i] - true_dm) < 0.5 else ""
+        print(f"  DM {grid.values[i]:5.2f} |{bar}{marker}")
+
+    ok = abs(detection.dm - true_dm) <= 2 * grid.step
+    print("\nresult:", "burst localised" if ok else "MISSED")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,72 @@
+"""Quickstart: synthesize a dispersed pulsar, dedisperse it, detect it.
+
+Runs in a few seconds on a laptop.  Demonstrates the core public API:
+
+1. define an observational setup (a laptop-scale low-frequency band),
+2. generate a synthetic observation containing a dispersed pulsar,
+3. build an auto-tuned dedispersion plan for a simulated accelerator,
+4. execute the brute-force DM search and find the pulsar.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    DMTrialGrid,
+    ObservationSetup,
+    SyntheticPulsar,
+    dedisperse,
+    detect_dm,
+    generate_observation,
+    hd7970,
+)
+
+
+def main() -> int:
+    # 1. A small observing band: LOFAR-like frequencies give strong,
+    #    clearly separated dispersion delays.
+    setup = ObservationSetup(
+        name="quickstart",
+        channels=64,
+        lowest_frequency=138.0,
+        channel_bandwidth=0.1,
+        samples_per_second=2000,
+        samples_per_batch=2000,
+    )
+    grid = DMTrialGrid(n_dms=32, step=0.5)
+    print(f"setup : {setup.describe()}")
+    print(f"search: {grid.n_dms} trial DMs, 0 to {grid.last} pc/cm^3")
+
+    # 2. One second of noisy data hosting a pulsar at DM 7.5.
+    pulsar = SyntheticPulsar(period_seconds=0.1, dm=7.5, amplitude=1.0)
+    data = generate_observation(
+        setup,
+        duration_seconds=1.0,
+        pulsars=[pulsar],
+        max_dm=grid.last,
+        rng=np.random.default_rng(42),
+    )
+    print(f"input : {data.shape[0]} channels x {data.shape[1]} samples")
+
+    # 3 + 4. Auto-tune for the paper's best device and run the search.
+    output, plan = dedisperse(data, setup, grid, device=hd7970())
+    print()
+    print(plan.describe())
+    print()
+
+    detection = detect_dm(output, grid.values)
+    print(f"injected : DM {pulsar.dm:.2f}")
+    print(
+        f"detected : DM {detection.dm:.2f} "
+        f"(S/N {detection.snr:.1f}, boxcar width {detection.width})"
+    )
+    ok = abs(detection.dm - pulsar.dm) <= grid.step
+    print("result   :", "pulsar recovered" if ok else "MISSED")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

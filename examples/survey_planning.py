@@ -1,0 +1,66 @@
+"""Survey planning: smearing-optimal DM grids and two-step cost savings.
+
+Before a survey runs, two planning questions must be answered:
+
+1. *Which trial DMs?*  A fixed step (the paper uses 0.25 pc/cm^3)
+   either over-resolves high DMs or under-resolves low ones; the
+   DDplan analysis derives the step per DM range from the smearing
+   budget, with downsampling stages at high DM.
+2. *Can we afford it?*  Brute-force dedispersion costs d*s*c; the
+   two-step subband decomposition cuts that by up to channels/subbands
+   at a bounded smearing cost.
+
+This example answers both for Apertif and LOFAR.
+
+Run with::
+
+    python examples/survey_planning.py
+"""
+
+from repro import DMTrialGrid, apertif, build_ddplan, lofar
+from repro.core.subband import SubbandPlan
+
+
+def main() -> int:
+    for setup, max_dm in ((apertif(), 500.0), (lofar(), 50.0)):
+        print(f"==== {setup.describe()}")
+        plan = build_ddplan(setup, max_dm=max_dm)
+        print(plan.describe())
+        fixed = plan.naive_trials(0.25)
+        print(
+            f"  paper-style fixed 0.25 step: {fixed} trials "
+            f"({'fewer' if fixed < plan.total_trials else 'more'} trials, "
+            "but smearing-suboptimal at the extremes)"
+        )
+        print()
+
+    print("==== two-step (subband) cost analysis, 2,048 trial DMs")
+    for name, setup, n_sub, coarse in (
+        ("Apertif", apertif(), 32, 16),
+        ("LOFAR", lofar(), 8, 4),
+    ):
+        grid = DMTrialGrid(2048)
+        subband = SubbandPlan(
+            setup=setup, grid=grid, n_subbands=n_sub, coarse_factor=coarse
+        )
+        brute_gflop = (
+            grid.n_dms * setup.samples_per_batch * setup.channels / 1e9
+        )
+        print(
+            f"{name:8s} brute {brute_gflop:6.1f} GFLOP -> two-step "
+            f"{subband.flops() / 1e9:6.1f} GFLOP "
+            f"({subband.flop_reduction():.1f}x cheaper, "
+            f"max extra smearing {subband.max_delay_error_samples()} "
+            "samples)"
+        )
+    print(
+        "\nApertif's high frequencies tolerate aggressive coarsening "
+        "(10x+ savings, negligible smearing); LOFAR's divergent delays "
+        "limit both the coarsening and the payoff — the same physics "
+        "that drives the paper's data-reuse contrast."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

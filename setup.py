@@ -1,0 +1,9 @@
+"""Setup shim for environments without PEP-517 build frontends.
+
+``pip install -e .`` uses pyproject.toml; this file additionally enables
+``python setup.py develop`` on offline machines lacking the ``wheel``
+package.
+"""
+from setuptools import setup
+
+setup()

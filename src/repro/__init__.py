@@ -1,0 +1,129 @@
+"""repro: auto-tuning dedispersion for many-core accelerators.
+
+A full reproduction of Sclocco et al., "Auto-Tuning Dedispersion for
+Many-Core Accelerators" (IPDPS 2014): the tunable dedispersion kernel, the
+auto-tuner, the observational setups, a performance simulator for the five
+accelerators of Table I, and drivers regenerating every table and figure
+of the paper's evaluation.
+
+Quickstart::
+
+    from repro import apertif, DMTrialGrid, dedisperse, generate_observation
+    from repro import SyntheticPulsar
+
+    setup = apertif(samples_per_batch=2000)
+    grid = DMTrialGrid(n_dms=64)
+    data = generate_observation(setup, 0.1,
+                                pulsars=[SyntheticPulsar(0.02, dm=8.0)],
+                                max_dm=grid.last)
+    output, plan = dedisperse(data, setup, grid)
+"""
+
+from repro.constants import (
+    DISPERSION_CONSTANT,
+    INPUT_INSTANCES,
+    DEFAULT_DM_FIRST,
+    DEFAULT_DM_STEP,
+)
+from repro.errors import (
+    ReproError,
+    ValidationError,
+    ConfigurationError,
+    DeviceError,
+    TuningError,
+    PipelineError,
+    ExperimentError,
+)
+from repro.astro import (
+    ObservationSetup,
+    apertif,
+    lofar,
+    DMTrialGrid,
+    SyntheticPulsar,
+    generate_observation,
+    detect_dm,
+    build_ddplan,
+    search_periodicity,
+    zero_dm_filter,
+)
+from repro.hardware import (
+    DeviceSpec,
+    hd7970,
+    xeon_phi_5110p,
+    gtx680,
+    k20,
+    gtx_titan,
+    xeon_e5_2620,
+    paper_accelerators,
+    all_devices,
+    device_by_name,
+    PerformanceModel,
+    KernelMetrics,
+    CPUModel,
+)
+from repro.core import (
+    KernelConfiguration,
+    AutoTuner,
+    TuningResult,
+    DedispersionPlan,
+    dedisperse,
+    dedisperse_reference,
+    OptimumStatistics,
+    best_fixed_configuration,
+    SubbandPlan,
+    dedisperse_subband,
+    hill_climb,
+    random_search,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "DISPERSION_CONSTANT",
+    "INPUT_INSTANCES",
+    "DEFAULT_DM_FIRST",
+    "DEFAULT_DM_STEP",
+    "ReproError",
+    "ValidationError",
+    "ConfigurationError",
+    "DeviceError",
+    "TuningError",
+    "PipelineError",
+    "ExperimentError",
+    "ObservationSetup",
+    "apertif",
+    "lofar",
+    "DMTrialGrid",
+    "SyntheticPulsar",
+    "generate_observation",
+    "detect_dm",
+    "DeviceSpec",
+    "hd7970",
+    "xeon_phi_5110p",
+    "gtx680",
+    "k20",
+    "gtx_titan",
+    "xeon_e5_2620",
+    "paper_accelerators",
+    "all_devices",
+    "device_by_name",
+    "PerformanceModel",
+    "KernelMetrics",
+    "CPUModel",
+    "KernelConfiguration",
+    "AutoTuner",
+    "TuningResult",
+    "DedispersionPlan",
+    "dedisperse",
+    "dedisperse_reference",
+    "OptimumStatistics",
+    "best_fixed_configuration",
+    "build_ddplan",
+    "search_periodicity",
+    "zero_dm_filter",
+    "SubbandPlan",
+    "dedisperse_subband",
+    "hill_climb",
+    "random_search",
+]

@@ -1,0 +1,148 @@
+"""Plain-text rendering of tables, figure series, and histograms.
+
+Every experiment driver reports through these helpers so benchmark output
+("the same rows/series the paper reports") is uniform and diffable.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an ASCII table with right-padded columns."""
+    if not headers:
+        raise ValidationError("headers must be non-empty")
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValidationError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[float]],
+    title: str = "",
+    precision: int = 1,
+) -> str:
+    """Render figure-style data: one x column, one column per series.
+
+    This is the textual equivalent of the paper's line plots: ``series``
+    maps a legend label (device name) to its y-values over ``x_values``
+    (DM counts).
+    """
+    for label, values in series.items():
+        if len(values) != len(x_values):
+            raise ValidationError(
+                f"series {label!r} has {len(values)} points, "
+                f"expected {len(x_values)}"
+            )
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        row = [x] + [
+            f"{series[label][i]:.{precision}f}" for label in series
+        ]
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_lineplot(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[float]],
+    title: str = "",
+    height: int = 16,
+    width: int = 64,
+) -> str:
+    """Render figure series as an ASCII scatter/line chart.
+
+    The textual cousin of the paper's gnuplot figures: y is scaled to the
+    series maximum, x spreads the given values uniformly (the paper's
+    figures use a log-2 DM axis, and the instances are powers of two, so
+    uniform spacing reproduces that).  Each series is drawn with its own
+    glyph; collisions show the later series.
+    """
+    if not series:
+        raise ValidationError("series must be non-empty")
+    for label, values in series.items():
+        if len(values) != len(x_values):
+            raise ValidationError(
+                f"series {label!r} has {len(values)} points, "
+                f"expected {len(x_values)}"
+            )
+    if height < 2 or width < 8:
+        raise ValidationError("height must be >= 2 and width >= 8")
+    y_max = max(max(values) for values in series.values())
+    if y_max <= 0:
+        y_max = 1.0
+    glyphs = "ox+*#@%&"
+    n = len(x_values)
+    grid = [[" "] * width for _ in range(height)]
+    for s_index, (label, values) in enumerate(series.items()):
+        glyph = glyphs[s_index % len(glyphs)]
+        for i, value in enumerate(values):
+            col = int(round(i * (width - 1) / max(n - 1, 1)))
+            row = height - 1 - int(round(value / y_max * (height - 1)))
+            row = min(max(row, 0), height - 1)
+            grid[row][col] = glyph
+    lines = [title] if title else []
+    for r, row in enumerate(grid):
+        y_value = y_max * (height - 1 - r) / (height - 1)
+        lines.append(f"{y_value:10.1f} |" + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(
+        " " * 12 + f"{x_values[0]} .. {x_values[-1]} ({x_label})"
+    )
+    legend = "  ".join(
+        f"{glyphs[i % len(glyphs)]}={label}"
+        for i, label in enumerate(series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def format_histogram(
+    counts: np.ndarray,
+    bin_edges: np.ndarray,
+    title: str = "",
+    width: int = 50,
+) -> str:
+    """Render a histogram as horizontal ASCII bars (the Fig. 10 view)."""
+    counts = np.asarray(counts)
+    bin_edges = np.asarray(bin_edges)
+    if counts.size + 1 != bin_edges.size:
+        raise ValidationError("bin_edges must have len(counts)+1 entries")
+    peak = max(int(counts.max()), 1)
+    lines = [title] if title else []
+    for i, count in enumerate(counts):
+        bar = "#" * max(int(round(width * count / peak)), 1 if count else 0)
+        lines.append(
+            f"{bin_edges[i]:8.1f}-{bin_edges[i + 1]:8.1f} |{bar} {int(count)}"
+        )
+    return "\n".join(lines)

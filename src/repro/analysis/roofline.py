@@ -1,0 +1,69 @@
+"""The roofline model (Williams, Waterman & Patterson — paper ref. [4]).
+
+The paper frames dedispersion's memory-boundedness in roofline terms: with
+arithmetic intensity below every device's ridge point, performance is
+bandwidth-limited.  These helpers place simulated kernels on each device's
+roofline so experiments can report which roof binds and how close the
+kernel sits to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.hardware.device import DeviceSpec
+from repro.hardware.metrics import KernelMetrics
+
+
+def roofline_gflops(device: DeviceSpec, arithmetic_intensity: float) -> float:
+    """Roofline ceiling (GFLOP/s) at a given intensity (FLOP/byte)."""
+    if arithmetic_intensity <= 0:
+        raise ValidationError("arithmetic intensity must be positive")
+    return min(
+        device.peak_gflops,
+        arithmetic_intensity * device.peak_bandwidth_gbs,
+    )
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel's position under a device's roofline."""
+
+    device_name: str
+    arithmetic_intensity: float
+    achieved_gflops: float
+    roof_gflops: float
+    ridge_point: float
+
+    @property
+    def memory_bound(self) -> bool:
+        """Whether the kernel sits on the bandwidth-sloped part of the roof."""
+        return self.arithmetic_intensity < self.ridge_point
+
+    @property
+    def roof_fraction(self) -> float:
+        """Achieved performance as a fraction of the roofline ceiling."""
+        return self.achieved_gflops / self.roof_gflops
+
+    def summary(self) -> str:
+        """One-line rendering used by reports."""
+        region = "memory" if self.memory_bound else "compute"
+        return (
+            f"{self.device_name}: AI {self.arithmetic_intensity:.2f} "
+            f"({region} region, ridge {self.ridge_point:.1f}), "
+            f"{self.achieved_gflops:.1f} of {self.roof_gflops:.1f} GFLOP/s "
+            f"({self.roof_fraction:.0%} of roof)"
+        )
+
+
+def roofline_point(device: DeviceSpec, metrics: KernelMetrics) -> RooflinePoint:
+    """Place a simulated kernel under its device's roofline."""
+    ai = metrics.arithmetic_intensity
+    return RooflinePoint(
+        device_name=device.name,
+        arithmetic_intensity=ai,
+        achieved_gflops=metrics.gflops,
+        roof_gflops=roofline_gflops(device, ai),
+        ridge_point=device.machine_balance,
+    )

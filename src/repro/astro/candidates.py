@@ -1,0 +1,142 @@
+"""Candidate extraction and sifting.
+
+A bright pulse is detected not only at its true DM but — weaker and wider —
+in a cone of neighbouring trials and offsets (the "bow tie" of the DM-time
+plane).  Reporting every super-threshold (trial, offset) would swamp any
+follow-up, so pipelines *sift*: cluster detections that belong to the same
+physical event and keep each cluster's strongest member.
+
+The implementation is the standard greedy non-maximum suppression used by
+single-pulse sifters (e.g. PRESTO's ``single_pulse_search`` grouping):
+process detections in decreasing S/N; each one either joins an existing
+cluster (close in DM *and* overlapping in time) or seeds a new cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.astro.snr import best_boxcar_snr
+from repro.errors import ValidationError
+from repro.utils.validation import require_non_negative, require_positive
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One super-threshold detection in the DM-time plane."""
+
+    dm_index: int
+    dm: float
+    snr: float
+    time_sample: int
+    width: int
+
+    def overlaps_in_time(self, other: "Candidate", slack: int = 0) -> bool:
+        """Whether the two boxcar extents intersect (within ``slack``)."""
+        a_lo, a_hi = self.time_sample, self.time_sample + self.width
+        b_lo, b_hi = other.time_sample, other.time_sample + other.width
+        return a_lo <= b_hi + slack and b_lo <= a_hi + slack
+
+
+@dataclass(frozen=True)
+class SiftedCandidate:
+    """A cluster of detections reduced to its strongest member."""
+
+    best: Candidate
+    members: tuple[Candidate, ...]
+
+    @property
+    def n_members(self) -> int:
+        """Cluster size (how many raw detections merged)."""
+        return len(self.members)
+
+    @property
+    def dm_extent(self) -> float:
+        """DM range the cluster spans — wide extents suggest RFI."""
+        dms = [member.dm for member in self.members]
+        return max(dms) - min(dms)
+
+
+def find_candidates(
+    dedispersed: np.ndarray,
+    dms: np.ndarray,
+    snr_threshold: float = 6.0,
+    max_width: int | None = None,
+) -> list[Candidate]:
+    """Collect every trial's best detection above the threshold.
+
+    One detection per trial (its best boxcar match) keeps the raw list
+    linear in the number of trials; a bright event still yields many
+    entries — one per trial in its bow tie — which sifting then merges.
+    """
+    dedispersed = np.asarray(dedispersed)
+    if dedispersed.ndim != 2:
+        raise ValidationError("dedispersed must be (n_dms, samples)")
+    if dedispersed.shape[0] != len(dms):
+        raise ValidationError("dms length must match dedispersed rows")
+    require_positive(snr_threshold, "snr_threshold")
+
+    found: list[Candidate] = []
+    for i in range(dedispersed.shape[0]):
+        snr, width, offset = best_boxcar_snr(dedispersed[i], max_width)
+        if snr >= snr_threshold:
+            found.append(
+                Candidate(
+                    dm_index=i,
+                    dm=float(dms[i]),
+                    snr=float(snr),
+                    time_sample=int(offset),
+                    width=int(width),
+                )
+            )
+    return found
+
+
+def sift(
+    candidates: list[Candidate],
+    dm_radius: float = 2.0,
+    time_slack: int = 8,
+) -> list[SiftedCandidate]:
+    """Cluster raw detections into physical events.
+
+    ``dm_radius`` is the DM distance (pc/cm^3) within which detections are
+    considered the same event; ``time_slack`` the allowed gap (samples)
+    between their boxcar extents.  Returns clusters sorted by their best
+    member's S/N, descending.
+    """
+    require_non_negative(dm_radius, "dm_radius")
+    require_non_negative(time_slack, "time_slack")
+    ordered = sorted(candidates, key=lambda c: -c.snr)
+    clusters: list[list[Candidate]] = []
+    for candidate in ordered:
+        for cluster in clusters:
+            anchor = cluster[0]  # the strongest member seeds the cluster
+            if (
+                abs(candidate.dm - anchor.dm) <= dm_radius
+                and candidate.overlaps_in_time(anchor, slack=time_slack)
+            ):
+                cluster.append(candidate)
+                break
+        else:
+            clusters.append([candidate])
+    return [
+        SiftedCandidate(best=cluster[0], members=tuple(cluster))
+        for cluster in clusters
+    ]
+
+
+def search_and_sift(
+    dedispersed: np.ndarray,
+    dms: np.ndarray,
+    snr_threshold: float = 6.0,
+    dm_radius: float = 2.0,
+    time_slack: int = 8,
+) -> list[SiftedCandidate]:
+    """Convenience: :func:`find_candidates` then :func:`sift`."""
+    return sift(
+        find_candidates(dedispersed, dms, snr_threshold),
+        dm_radius=dm_radius,
+        time_slack=time_slack,
+    )

@@ -1,0 +1,231 @@
+"""SIGPROC filterbank file I/O.
+
+Channelised time-series are interchanged between real pulsar tools
+(SIGPROC, PRESTO, dedisp, Heimdall) as ``.fil`` files: a self-describing
+binary header of ``(length-prefixed keyword, value)`` pairs between
+``HEADER_START``/``HEADER_END`` markers, followed by raw samples ordered
+time-major (one spectrum of ``nchans`` values per time step).
+
+This module reads and writes that format for 8-bit and 32-bit data, so
+synthetic observations from :mod:`repro.astro.signal_gen` can be exported
+to real tools and real recordings can be pulled into this pipeline.
+
+SIGPROC convention notes honoured here:
+
+* ``fch1`` is the centre frequency of the *first stored channel* and
+  ``foff`` the channel offset; SIGPROC files normally store the highest
+  frequency first (``foff < 0``), while this library's arrays are
+  lowest-first — the reader/writer flips as needed.
+* ``tsamp`` is the sampling interval in seconds.
+* data are stored time-major; this library's arrays are channel-major —
+  transposed on the way in/out.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.astro.observation import ObservationSetup
+from repro.errors import ValidationError
+
+_HEADER_START = b"HEADER_START"
+_HEADER_END = b"HEADER_END"
+
+#: Header keywords and their value codecs.
+_INT_KEYS = {"nchans", "nbits", "nifs", "machine_id", "telescope_id",
+             "data_type", "barycentric"}
+_DOUBLE_KEYS = {"fch1", "foff", "tsamp", "tstart", "src_raj", "src_dej"}
+_STRING_KEYS = {"source_name", "rawdatafile"}
+
+
+def _write_string(buffer: bytearray, text: str) -> None:
+    encoded = text.encode("ascii")
+    buffer += struct.pack("<i", len(encoded)) + encoded
+
+
+def _write_keyword(buffer: bytearray, key: str, value) -> None:
+    _write_string(buffer, key)
+    if key in _INT_KEYS:
+        buffer += struct.pack("<i", int(value))
+    elif key in _DOUBLE_KEYS:
+        buffer += struct.pack("<d", float(value))
+    elif key in _STRING_KEYS:
+        _write_string(buffer, str(value))
+    else:
+        raise ValidationError(f"unknown filterbank keyword {key!r}")
+
+
+@dataclass(frozen=True)
+class FilterbankHeader:
+    """Parsed metadata of a filterbank file."""
+
+    nchans: int
+    nbits: int
+    fch1_mhz: float
+    foff_mhz: float
+    tsamp_s: float
+    nsamples: int
+    source_name: str = ""
+    tstart_mjd: float = 50000.0
+    nifs: int = 1
+
+    def to_setup(self, name: str = "") -> ObservationSetup:
+        """Build the equivalent :class:`ObservationSetup` (lowest-first)."""
+        bandwidth = abs(self.foff_mhz)
+        lowest_centre = (
+            self.fch1_mhz + (self.nchans - 1) * self.foff_mhz
+            if self.foff_mhz < 0
+            else self.fch1_mhz
+        )
+        return ObservationSetup(
+            name=name or (self.source_name or "filterbank"),
+            channels=self.nchans,
+            lowest_frequency=lowest_centre - 0.5 * bandwidth,
+            channel_bandwidth=bandwidth,
+            samples_per_second=int(round(1.0 / self.tsamp_s)),
+        )
+
+
+def write_filterbank(
+    path: str | Path,
+    data: np.ndarray,
+    setup: ObservationSetup,
+    nbits: int = 32,
+    source_name: str = "synthetic",
+    tstart_mjd: float = 50000.0,
+) -> FilterbankHeader:
+    """Write channelised data (channels-major, lowest-first) as ``.fil``.
+
+    ``nbits=8`` quantises via :func:`repro.astro.quantization.quantize`;
+    ``nbits=32`` stores float32 verbatim.
+    """
+    data = np.asarray(data)
+    if data.ndim != 2 or data.shape[0] != setup.channels:
+        raise ValidationError(
+            f"data must have shape (channels={setup.channels}, t), "
+            f"got {data.shape}"
+        )
+    if nbits not in (8, 32):
+        raise ValidationError("nbits must be 8 or 32")
+
+    freqs = setup.channel_frequencies
+    # SIGPROC convention: highest frequency first, negative offset.
+    fch1 = float(freqs[-1])
+    foff = -setup.channel_bandwidth
+
+    buffer = bytearray()
+    _write_string(buffer, _HEADER_START.decode())
+    _write_keyword(buffer, "source_name", source_name)
+    _write_keyword(buffer, "machine_id", 0)
+    _write_keyword(buffer, "telescope_id", 0)
+    _write_keyword(buffer, "data_type", 1)  # filterbank
+    _write_keyword(buffer, "fch1", fch1)
+    _write_keyword(buffer, "foff", foff)
+    _write_keyword(buffer, "nchans", setup.channels)
+    _write_keyword(buffer, "nbits", nbits)
+    _write_keyword(buffer, "tstart", tstart_mjd)
+    _write_keyword(buffer, "tsamp", 1.0 / setup.samples_per_second)
+    _write_keyword(buffer, "nifs", 1)
+    _write_string(buffer, _HEADER_END.decode())
+
+    # Flip to highest-first, then transpose to time-major for storage.
+    if nbits == 8:
+        from repro.astro.quantization import quantize
+
+        stored = quantize(data, nbits=8).data
+        payload = np.ascontiguousarray(stored[::-1].T).tobytes()
+    else:
+        payload = np.ascontiguousarray(data[::-1].T).astype("<f4").tobytes()
+
+    path = Path(path)
+    path.write_bytes(bytes(buffer) + payload)
+    return FilterbankHeader(
+        nchans=setup.channels,
+        nbits=nbits,
+        fch1_mhz=fch1,
+        foff_mhz=foff,
+        tsamp_s=1.0 / setup.samples_per_second,
+        nsamples=data.shape[1],
+        source_name=source_name,
+        tstart_mjd=tstart_mjd,
+    )
+
+
+def _read_string(raw: bytes, offset: int) -> tuple[str, int]:
+    (length,) = struct.unpack_from("<i", raw, offset)
+    offset += 4
+    if not 0 < length < 256:
+        raise ValidationError(f"corrupt filterbank string length {length}")
+    text = raw[offset : offset + length].decode("ascii")
+    return text, offset + length
+
+
+def read_filterbank(
+    path: str | Path,
+) -> tuple[FilterbankHeader, np.ndarray]:
+    """Read a ``.fil`` file; returns (header, channels-major float32 data).
+
+    Data come back in this library's convention: lowest frequency first,
+    shape ``(channels, samples)``, float32 (8-bit payloads are promoted).
+    """
+    raw = Path(path).read_bytes()
+    text, offset = _read_string(raw, 0)
+    if text != _HEADER_START.decode():
+        raise ValidationError("not a filterbank file (missing HEADER_START)")
+
+    fields: dict = {"nifs": 1, "source_name": "", "tstart": 50000.0}
+    while True:
+        key, offset = _read_string(raw, offset)
+        if key == _HEADER_END.decode():
+            break
+        if key in _INT_KEYS:
+            (fields[key],) = struct.unpack_from("<i", raw, offset)
+            offset += 4
+        elif key in _DOUBLE_KEYS:
+            (fields[key],) = struct.unpack_from("<d", raw, offset)
+            offset += 8
+        elif key in _STRING_KEYS:
+            fields[key], offset = _read_string(raw, offset)
+        else:
+            raise ValidationError(f"unknown filterbank keyword {key!r}")
+
+    for required in ("nchans", "nbits", "fch1", "foff", "tsamp"):
+        if required not in fields:
+            raise ValidationError(f"filterbank header missing {required!r}")
+
+    nchans = fields["nchans"]
+    nbits = fields["nbits"]
+    payload = raw[offset:]
+    if nbits == 32:
+        if len(payload) % 4:
+            raise ValidationError(
+                "payload size not a multiple of the sample width"
+            )
+        flat = np.frombuffer(payload, dtype="<f4")
+    elif nbits == 8:
+        flat = np.frombuffer(payload, dtype=np.uint8).astype(np.float32)
+    else:
+        raise ValidationError(f"unsupported nbits {nbits}")
+    if flat.size % nchans:
+        raise ValidationError("payload size not a multiple of nchans")
+    nsamples = flat.size // nchans
+    spectra = flat.reshape(nsamples, nchans).T  # channels-major
+    if fields["foff"] < 0:
+        spectra = spectra[::-1]  # back to lowest-first
+
+    header = FilterbankHeader(
+        nchans=nchans,
+        nbits=nbits,
+        fch1_mhz=fields["fch1"],
+        foff_mhz=fields["foff"],
+        tsamp_s=fields["tsamp"],
+        nsamples=nsamples,
+        source_name=fields.get("source_name", ""),
+        tstart_mjd=fields.get("tstart", 50000.0),
+        nifs=fields.get("nifs", 1),
+    )
+    return header, np.ascontiguousarray(spectra, dtype=np.float32)

@@ -1,0 +1,121 @@
+"""Interstellar scattering: the smearing dedispersion cannot touch.
+
+Multipath propagation through the turbulent interstellar medium convolves
+every pulse with a one-sided exponential whose timescale grows steeply
+with DM and falls steeply with frequency.  Unlike dispersion it cannot be
+reversed at all — it sets a hard floor on time resolution at low
+frequencies and is the reason low-frequency surveys (LOFAR) lose
+sensitivity to distant (high-DM) sources no matter how finely they grid
+their trials.
+
+The implementation is the standard empirical relation of Bhat et al.
+(2004), as used by survey-planning tools::
+
+    log10 tau_us = -6.46 + 0.154 log10 DM + 1.07 (log10 DM)^2
+                   - 3.86 log10 f_GHz
+
+with ``tau`` in microseconds.  The measured scatter around this relation
+is large (±0.65 dex); treat results as order-of-magnitude, which is how
+planning uses them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.astro.observation import ObservationSetup
+from repro.astro.sensitivity import smearing_attenuation
+from repro.errors import ValidationError
+from repro.utils.validation import require_positive
+
+#: Coefficients of the Bhat et al. (2004) relation.
+_BHAT_A: float = -6.46
+_BHAT_B: float = 0.154
+_BHAT_C: float = 1.07
+_BHAT_FREQ_SLOPE: float = -3.86
+
+
+def scattering_time_seconds(dm: float, frequency_mhz: float) -> float:
+    """Empirical scattering timescale at ``dm`` and ``frequency`` (seconds)."""
+    if dm < 0:
+        raise ValidationError("dm must be non-negative")
+    require_positive(frequency_mhz, "frequency_mhz")
+    if dm == 0.0:
+        return 0.0
+    log_dm = np.log10(dm)
+    log_tau_us = (
+        _BHAT_A
+        + _BHAT_B * log_dm
+        + _BHAT_C * log_dm ** 2
+        + _BHAT_FREQ_SLOPE * np.log10(frequency_mhz / 1000.0)
+    )
+    return float(10.0 ** log_tau_us * 1e-6)
+
+
+def scattering_limited_dm(
+    setup: ObservationSetup,
+    max_smearing_seconds: float,
+    dm_ceiling: float = 1e5,
+    frequency_mhz: float | None = None,
+) -> float:
+    """The DM beyond which scattering alone exceeds the smearing budget.
+
+    Evaluated at the setup's *lowest* channel by default (scattering is
+    worst there); bisected because the relation is monotone in DM.
+    Returns ``dm_ceiling`` when even that DM stays within budget.
+    """
+    require_positive(max_smearing_seconds, "max_smearing_seconds")
+    frequency = (
+        float(setup.channel_frequencies[0])
+        if frequency_mhz is None
+        else frequency_mhz
+    )
+    if scattering_time_seconds(dm_ceiling, frequency) <= max_smearing_seconds:
+        return dm_ceiling
+    lo, hi = 1e-3, dm_ceiling
+    for _ in range(200):
+        mid = np.sqrt(lo * hi)  # geometric: the relation is log-log
+        if scattering_time_seconds(mid, frequency) > max_smearing_seconds:
+            hi = mid
+        else:
+            lo = mid
+    return float(lo)
+
+
+def scattering_attenuation(
+    setup: ObservationSetup,
+    dm: float,
+    pulse_width_seconds: float,
+) -> float:
+    """S/N fraction a pulse retains after scattering at this DM.
+
+    Uses the band-centre scattering time and the matched-filter loss of
+    :func:`repro.astro.sensitivity.smearing_attenuation`.
+    """
+    centre = float(np.median(setup.channel_frequencies))
+    tau = scattering_time_seconds(dm, centre)
+    return smearing_attenuation(pulse_width_seconds, tau)
+
+
+def scattering_horizon(
+    setup: ObservationSetup,
+    pulse_width_seconds: float,
+    min_retained: float = 0.5,
+) -> float:
+    """The DM at which scattering halves (by default) the recovered S/N.
+
+    The survey's effective depth at this band: sources beyond it are
+    scatter-broadened into the noise regardless of dedispersion quality.
+    """
+    require_positive(pulse_width_seconds, "pulse_width_seconds")
+    if not 0.0 < min_retained < 1.0:
+        raise ValidationError("min_retained must be in (0, 1)")
+    # Invert the matched-filter loss for the target retention, then invert
+    # the Bhat relation for the DM (at the band centre, matching
+    # scattering_attenuation).
+    # retained = sqrt(W / hypot(W, tau))  =>  tau = W * sqrt(r^-4 - 1)
+    tau_target = pulse_width_seconds * float(
+        np.sqrt(min_retained ** -4 - 1.0)
+    )
+    centre = float(np.median(setup.channel_frequencies))
+    return scattering_limited_dm(setup, tau_target, frequency_mhz=centre)

@@ -1,0 +1,123 @@
+"""Telescope front-end: beams and chunked data streams.
+
+Modern telescopes form many simultaneous beams (Sec. II), each producing an
+independent channelised stream that must be dedispersed in real time.  The
+:class:`Telescope` abstraction produces per-beam :class:`StreamChunk`s that
+the :mod:`repro.pipeline` consumes; chunks carry the overlap region (the
+maximum dispersion delay) needed to dedisperse their final samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.astro.dispersion import max_delay_samples
+from repro.astro.dm_trials import DMTrialGrid
+from repro.astro.observation import ObservationSetup
+from repro.astro.signal_gen import SyntheticPulsar, generate_observation
+from repro.errors import ValidationError
+from repro.utils.validation import require_positive_int
+
+
+@dataclass(frozen=True)
+class Beam:
+    """One telescope beam: an index, a sky direction tag, and its sources."""
+
+    index: int
+    label: str = ""
+    pulsars: tuple[SyntheticPulsar, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValidationError("beam index must be non-negative")
+        if not self.label:
+            object.__setattr__(self, "label", f"beam-{self.index:03d}")
+
+
+@dataclass(frozen=True)
+class StreamChunk:
+    """One second-scale block of channelised data from one beam.
+
+    ``data`` has shape ``(channels, samples + overlap)``: the trailing
+    ``overlap`` samples duplicate the head of the next chunk so that the
+    final output samples of this chunk can be dedispersed at the highest
+    trial DM without waiting for future data.
+    """
+
+    beam_index: int
+    sequence: int
+    data: np.ndarray
+    samples: int
+    overlap: int
+
+    def __post_init__(self) -> None:
+        if self.data.ndim != 2:
+            raise ValidationError("chunk data must be 2-D (channels, time)")
+        if self.data.shape[1] != self.samples + self.overlap:
+            raise ValidationError(
+                f"chunk time dimension {self.data.shape[1]} != "
+                f"samples {self.samples} + overlap {self.overlap}"
+            )
+
+
+@dataclass
+class Telescope:
+    """A multi-beam telescope producing synthetic channelised streams."""
+
+    setup: ObservationSetup
+    beams: list[Beam] = field(default_factory=list)
+    noise_sigma: float = 1.0
+    seed: int = 0
+
+    def add_beam(self, pulsars: tuple[SyntheticPulsar, ...] = (), label: str = "") -> Beam:
+        """Append a beam (optionally hosting pulsars) and return it."""
+        beam = Beam(index=len(self.beams), label=label, pulsars=pulsars)
+        self.beams.append(beam)
+        return beam
+
+    def overlap_samples(self, grid: DMTrialGrid) -> int:
+        """Input overlap needed to dedisperse a chunk at the grid's max DM."""
+        return max_delay_samples(self.setup, grid.last)
+
+    def stream(
+        self,
+        beam: Beam,
+        n_chunks: int,
+        grid: DMTrialGrid,
+        chunk_seconds: float = 1.0,
+    ) -> Iterator[StreamChunk]:
+        """Yield ``n_chunks`` consecutive chunks for ``beam``.
+
+        Each chunk spans ``chunk_seconds`` of output samples plus the
+        DM-dependent overlap.  Consecutive chunks are cut from one long
+        contiguous synthetic observation, so a pulse spanning a chunk
+        boundary is reproduced consistently.
+        """
+        require_positive_int(n_chunks, "n_chunks")
+        samples = int(round(chunk_seconds * self.setup.samples_per_second))
+        if samples <= 0:
+            raise ValidationError("chunk_seconds too small for one sample")
+        overlap = self.overlap_samples(grid)
+        rng = np.random.default_rng(self.seed + beam.index)
+        total_seconds = n_chunks * chunk_seconds
+        data = generate_observation(
+            self.setup,
+            total_seconds,
+            pulsars=beam.pulsars,
+            noise_sigma=self.noise_sigma,
+            max_dm=grid.last,
+            rng=rng,
+        )
+        for i in range(n_chunks):
+            start = i * samples
+            stop = start + samples + overlap
+            yield StreamChunk(
+                beam_index=beam.index,
+                sequence=i,
+                data=data[:, start:stop],
+                samples=samples,
+                overlap=overlap,
+            )

@@ -1,0 +1,51 @@
+"""Speedup-series helpers for the comparison figures (13-16)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class SpeedupSeries:
+    """Per-instance speedups of one implementation over another."""
+
+    label: str
+    baseline_label: str
+    #: n_dms -> speedup factor (>1 means `label` wins).
+    speedups: dict[int, float]
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean speedup across instances (finite entries only)."""
+        finite = [v for v in self.speedups.values() if v != float("inf")]
+        if not finite:
+            raise ValidationError("no finite speedups to average")
+        return sum(finite) / len(finite)
+
+    @property
+    def max(self) -> float:
+        """Largest per-instance speedup."""
+        return max(self.speedups.values())
+
+
+def speedup_series(
+    label: str,
+    baseline_label: str,
+    subject_gflops: dict[int, float],
+    baseline_gflops: dict[int, float],
+) -> SpeedupSeries:
+    """Elementwise ``subject / baseline`` over shared instances."""
+    shared = sorted(set(subject_gflops) & set(baseline_gflops))
+    if not shared:
+        raise ValidationError("no shared instances between series")
+    speedups = {}
+    for n_dms in shared:
+        base = baseline_gflops[n_dms]
+        if base <= 0:
+            raise ValidationError(f"baseline non-positive at {n_dms} DMs")
+        speedups[n_dms] = subject_gflops[n_dms] / base
+    return SpeedupSeries(
+        label=label, baseline_label=baseline_label, speedups=speedups
+    )

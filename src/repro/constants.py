@@ -1,0 +1,47 @@
+"""Physical and implementation constants shared across the library.
+
+The dispersion constant follows the convention of the paper (Eq. 1), which
+quotes the delay of a frequency component ``f_i`` (MHz) relative to the
+highest frequency ``f_h`` (MHz) for a dispersion measure ``DM`` (pc cm^-3)::
+
+    k  ~=  4150 * DM * (1 / f_i**2  -  1 / f_h**2)   [seconds]
+
+The more precise value used by pulsar software (e.g. PRESTO, dedisp) is
+``4.148808e3 MHz^2 pc^-1 cm^3 s``; the paper rounds it to ``4150``.  We use
+the paper's rounded value by default so that reproduced delay tables match
+the paper's arithmetic, and expose the precise value for users who want it.
+"""
+
+from __future__ import annotations
+
+#: Dispersion constant used by the paper (MHz^2 pc^-1 cm^3 s).
+DISPERSION_CONSTANT: float = 4150.0
+
+#: Precise dispersion constant (MHz^2 pc^-1 cm^3 s), for reference.
+DISPERSION_CONSTANT_PRECISE: float = 4.148808e3
+
+#: Bytes per sample.  The paper represents every data element as a single
+#: precision floating point number (Sec. III-A).
+BYTES_PER_SAMPLE: int = 4
+
+#: Floating point operations per accumulated input element.  Algorithm 1
+#: performs exactly one addition per (dm, sample, channel) triple; this is
+#: the FLOP accounting used throughout the paper (e.g. "20 MFLOP per DM"
+#: for Apertif = 20,000 samples/s x 1,024 channels).
+FLOP_PER_ELEMENT: int = 1
+
+#: Fraction of peak a kernel without fused multiply-adds can reach.  The
+#: paper (Sec. VI) notes dedispersion "cannot take advantage of fused
+#: multiply-adds, which by itself already limits the theoretical upper
+#: bound to 50%".
+NO_FMA_PEAK_FRACTION: float = 0.5
+
+#: Input instance sizes used by every experiment in the paper: powers of two
+#: between 2 and 4,096 dispersion measures (Sec. IV-A: "12 different input
+#: instances").
+INPUT_INSTANCES: tuple[int, ...] = tuple(2 ** i for i in range(1, 13))
+
+#: DM grid used by both observational setups (Sec. IV): first trial DM of 0
+#: and a step of 0.25 pc/cm^3.
+DEFAULT_DM_FIRST: float = 0.0
+DEFAULT_DM_STEP: float = 0.25

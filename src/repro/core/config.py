@@ -1,0 +1,103 @@
+"""The four user-controlled parameters of the dedispersion kernel.
+
+Sec. III-B: "The general structure of the algorithm can be specifically
+instantiated by configuring four user-controlled parameters.  Two parameters
+are used to control the number of work-items per work-group in the time and
+DM dimensions, regulating the amount of available parallelism.  The other
+two parameters are used to control the number of elements a single
+work-item computes, also in the time and DM dimensions, regulating the
+amount of work per work-item."
+
+We name them:
+
+* ``work_items_time``  (wt) — work-items per work-group, time dimension.
+* ``work_items_dm``    (wd) — work-items per work-group, DM dimension.
+* ``elements_time``    (et) — output samples each work-item computes.
+* ``elements_dm``      (ed) — trial DMs each work-item accumulates.
+
+A work-group therefore computes a tile of ``wd*ed`` DMs by ``wt*et``
+samples; the paper's Figs. 2-3 plot ``wt*wd`` ("work-items") and Figs. 4-5
+plot ``et*ed`` ("registers", the accumulators each work-item keeps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import require_positive_int
+
+#: Registers a work-item needs beyond its ``et*ed`` accumulators: loop
+#: counters, base addresses, the staged sample.  Used by the occupancy
+#: model when translating a configuration into register pressure.
+BASE_REGISTERS_PER_ITEM: int = 8
+
+
+@dataclass(frozen=True, order=True)
+class KernelConfiguration:
+    """One instance of the run-time-generated dedispersion kernel."""
+
+    work_items_time: int
+    work_items_dm: int
+    elements_time: int
+    elements_dm: int
+
+    def __post_init__(self) -> None:
+        require_positive_int(self.work_items_time, "work_items_time")
+        require_positive_int(self.work_items_dm, "work_items_dm")
+        require_positive_int(self.elements_time, "elements_time")
+        require_positive_int(self.elements_dm, "elements_dm")
+
+    # ------------------------------------------------------------------
+    # Derived tile geometry
+    # ------------------------------------------------------------------
+    @property
+    def work_items_per_group(self) -> int:
+        """Total work-items per work-group (the Figs. 2-3 quantity)."""
+        return self.work_items_time * self.work_items_dm
+
+    @property
+    def accumulators(self) -> int:
+        """Per-work-item accumulator registers (the Figs. 4-5 quantity)."""
+        return self.elements_time * self.elements_dm
+
+    @property
+    def registers_per_item(self) -> int:
+        """Estimated total register pressure per work-item."""
+        return self.accumulators + BASE_REGISTERS_PER_ITEM
+
+    @property
+    def tile_samples(self) -> int:
+        """Output samples computed by one work-group."""
+        return self.work_items_time * self.elements_time
+
+    @property
+    def tile_dms(self) -> int:
+        """Trial DMs computed by one work-group."""
+        return self.work_items_dm * self.elements_dm
+
+    def work_groups(self, n_dms: int, samples: int) -> int:
+        """Number of work-groups in the NDRange for a given problem size.
+
+        Meaningful configurations tile the problem exactly (see
+        :mod:`repro.core.constraints`); for other sizes the count rounds up,
+        matching how an OpenCL runtime would pad the NDRange.
+        """
+        from repro.utils.intmath import ceil_div
+
+        return ceil_div(n_dms, self.tile_dms) * ceil_div(samples, self.tile_samples)
+
+    def describe(self) -> str:
+        """Compact ``wt x wd (et x ed)`` rendering used in reports."""
+        return (
+            f"{self.work_items_time}x{self.work_items_dm} work-items, "
+            f"{self.elements_time}x{self.elements_dm} elements"
+        )
+
+    def as_tuple(self) -> tuple[int, int, int, int]:
+        """(wt, wd, et, ed) — the paper's four parameters."""
+        return (
+            self.work_items_time,
+            self.work_items_dm,
+            self.elements_time,
+            self.elements_dm,
+        )

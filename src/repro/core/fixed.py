@@ -1,0 +1,75 @@
+"""Best-fixed-configuration search (paper Sec. V-D, Figs. 13-14).
+
+The paper compares the auto-tuned optimum against "the best possible
+manually optimized version": a single configuration per (device, setup)
+that, summed over all input instances, maximises the achieved GFLOP/s.
+The speedup of the per-instance optimum over that fixed configuration is
+the headline measure of what auto-tuning buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import KernelConfiguration
+from repro.core.tuner import TuningResult
+from repro.errors import TuningError
+
+
+@dataclass(frozen=True)
+class FixedConfigResult:
+    """The best fixed configuration and its per-instance performance."""
+
+    config: KernelConfiguration
+    #: Summed GFLOP/s across all instances where the config is meaningful.
+    total_gflops: float
+    #: GFLOP/s per instance (keyed by n_dms); missing where not meaningful.
+    per_instance_gflops: dict[int, float]
+
+    def speedup_of_tuned(self, tuned: dict[int, float]) -> dict[int, float]:
+        """Per-instance speedup of the tuned optimum over this fixed config.
+
+        Instances where the fixed configuration is not meaningful (it cannot
+        run at all) are reported as ``inf`` — the tuned version wins by
+        default, as on real hardware the fixed binary would simply fail.
+        """
+        speedups: dict[int, float] = {}
+        for n_dms, tuned_gflops in tuned.items():
+            fixed = self.per_instance_gflops.get(n_dms)
+            speedups[n_dms] = (
+                tuned_gflops / fixed if fixed and fixed > 0 else float("inf")
+            )
+        return speedups
+
+
+def best_fixed_configuration(
+    sweeps: dict[int, TuningResult],
+) -> FixedConfigResult:
+    """Find the fixed configuration maximising summed GFLOP/s.
+
+    ``sweeps`` maps input-instance size (n_dms) to its full tuning sweep;
+    only configurations meaningful on *every* instance qualify (a fixed
+    binary must run everywhere), falling back to best-total otherwise.
+    """
+    if not sweeps:
+        raise TuningError("no sweeps supplied")
+    totals: dict[KernelConfiguration, float] = {}
+    per_config_instances: dict[KernelConfiguration, dict[int, float]] = {}
+    for n_dms, result in sweeps.items():
+        for sample in result.samples:
+            totals[sample.config] = totals.get(sample.config, 0.0) + sample.gflops
+            per_config_instances.setdefault(sample.config, {})[n_dms] = sample.gflops
+
+    n_instances = len(sweeps)
+    universal = {
+        cfg: total
+        for cfg, total in totals.items()
+        if len(per_config_instances[cfg]) == n_instances
+    }
+    pool = universal or totals
+    best_config = max(pool, key=pool.__getitem__)
+    return FixedConfigResult(
+        config=best_config,
+        total_gflops=pool[best_config],
+        per_instance_gflops=per_config_instances[best_config],
+    )

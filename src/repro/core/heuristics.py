@@ -1,0 +1,271 @@
+"""Heuristic alternatives to exhaustive auto-tuning.
+
+The paper tunes exhaustively ("the algorithm is executed for every
+meaningful combination").  That is affordable here because the search
+space is small, but auto-tuning research offers cheaper strategies whose
+quality is worth quantifying — especially since Figs. 8-10 show the
+optimum is a statistical outlier.  Three classics are implemented on the
+same meaningful-configuration space:
+
+* **random search** — sample ``budget`` configurations uniformly;
+* **greedy hill climbing** — start from a seed, repeatedly move to the
+  best neighbour (one parameter changed one notch in the sorted value
+  lists), restarting from random seeds until the budget is spent;
+* **simulated annealing** — a cooled random walk over the same
+  neighbourhood structure, able to cross the valleys that trap greedy
+  ascent.
+
+All return the same :class:`~repro.core.tuner.TuningResult` shape as the
+exhaustive tuner (with the evaluated subset as the population), so every
+downstream analysis applies.  ``benchmarks/bench_ablation_tuner.py``
+compares their quality against the exhaustive optimum.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.astro.dm_trials import DMTrialGrid
+from repro.astro.observation import ObservationSetup
+from repro.core.config import KernelConfiguration
+from repro.core.space import TuningSpace
+from repro.core.tuner import ConfigurationSample, TuningResult
+from repro.errors import TuningError
+from repro.hardware.device import DeviceSpec
+from repro.hardware.model import PerformanceModel
+from repro.utils.validation import require_positive_int
+
+
+@dataclass(frozen=True)
+class HeuristicOutcome:
+    """Result of a budgeted heuristic search."""
+
+    result: TuningResult
+    evaluations: int
+    budget: int
+
+    @property
+    def best_gflops(self) -> float:
+        """Best performance found within the budget."""
+        return self.result.best.gflops
+
+
+class _Evaluator:
+    """Caches model evaluations of meaningful configurations."""
+
+    def __init__(
+        self,
+        device: DeviceSpec,
+        setup: ObservationSetup,
+        grid: DMTrialGrid,
+        configs: list[KernelConfiguration],
+    ):
+        self.device = device
+        self.setup = setup
+        self.grid = grid
+        self.configs = configs
+        self.config_set = set(configs)
+        self.model = PerformanceModel(device, setup, grid)
+        self.cache: dict[KernelConfiguration, ConfigurationSample] = {}
+
+    def evaluate(self, config: KernelConfiguration) -> ConfigurationSample:
+        if config not in self.cache:
+            metrics = self.model.simulate(config, validate=False)
+            self.cache[config] = ConfigurationSample(
+                config=config, gflops=metrics.gflops, metrics=metrics
+            )
+        return self.cache[config]
+
+    def result(self) -> TuningResult:
+        if not self.cache:
+            raise TuningError("heuristic search evaluated nothing")
+        return TuningResult(
+            device=self.device,
+            setup=self.setup,
+            grid=self.grid,
+            samples=tuple(self.cache.values()),
+        )
+
+
+def _neighbours(
+    config: KernelConfiguration, evaluator: _Evaluator
+) -> list[KernelConfiguration]:
+    """Meaningful configurations one notch away in a single parameter."""
+    axes: dict[str, list[int]] = {"wt": [], "wd": [], "et": [], "ed": []}
+    for c in evaluator.configs:
+        axes["wt"].append(c.work_items_time)
+        axes["wd"].append(c.work_items_dm)
+        axes["et"].append(c.elements_time)
+        axes["ed"].append(c.elements_dm)
+    result: list[KernelConfiguration] = []
+    current = {
+        "wt": config.work_items_time,
+        "wd": config.work_items_dm,
+        "et": config.elements_time,
+        "ed": config.elements_dm,
+    }
+    for axis in axes:
+        values = sorted(set(axes[axis]))
+        idx = values.index(current[axis]) if current[axis] in values else None
+        if idx is None:
+            continue
+        for step in (-1, 1):
+            j = idx + step
+            if not 0 <= j < len(values):
+                continue
+            candidate_params = dict(current)
+            candidate_params[axis] = values[j]
+            candidate = KernelConfiguration(
+                work_items_time=candidate_params["wt"],
+                work_items_dm=candidate_params["wd"],
+                elements_time=candidate_params["et"],
+                elements_dm=candidate_params["ed"],
+            )
+            if candidate in evaluator.config_set:
+                result.append(candidate)
+    return result
+
+
+def _make_evaluator(
+    device: DeviceSpec,
+    setup: ObservationSetup,
+    grid: DMTrialGrid,
+    samples: int | None,
+) -> _Evaluator:
+    space = TuningSpace(
+        device=device,
+        setup=setup,
+        grid=grid,
+        samples=samples or 0,
+    )
+    configs = space.meaningful()
+    if not configs:
+        raise TuningError(
+            f"search space is empty for {device.name}/{setup.name}"
+        )
+    return _Evaluator(device, setup, grid, configs)
+
+
+def random_search(
+    device: DeviceSpec,
+    setup: ObservationSetup,
+    grid: DMTrialGrid,
+    budget: int = 50,
+    seed: int = 0,
+    samples: int | None = None,
+) -> HeuristicOutcome:
+    """Uniformly sample ``budget`` meaningful configurations."""
+    require_positive_int(budget, "budget")
+    evaluator = _make_evaluator(device, setup, grid, samples)
+    rng = random.Random(seed)
+    n = min(budget, len(evaluator.configs))
+    for config in rng.sample(evaluator.configs, n):
+        evaluator.evaluate(config)
+    return HeuristicOutcome(
+        result=evaluator.result(),
+        evaluations=len(evaluator.cache),
+        budget=budget,
+    )
+
+
+def simulated_annealing(
+    device: DeviceSpec,
+    setup: ObservationSetup,
+    grid: DMTrialGrid,
+    budget: int = 50,
+    seed: int = 0,
+    samples: int | None = None,
+    initial_temperature: float = 0.5,
+) -> HeuristicOutcome:
+    """Annealed local search: accepts downhill moves early, cools to greedy.
+
+    The acceptance temperature is a fraction of the best GFLOP/s seen so
+    far and decays geometrically over the budget — the standard recipe
+    that lets the walker escape the local optima that trap
+    :func:`hill_climb` on the multimodal LOFAR space (Fig. 10's shape).
+    """
+    require_positive_int(budget, "budget")
+    if initial_temperature <= 0:
+        raise TuningError("initial_temperature must be positive")
+    evaluator = _make_evaluator(device, setup, grid, samples)
+    rng = random.Random(seed)
+
+    current = evaluator.evaluate(rng.choice(evaluator.configs))
+    best = current
+    cooling = (0.01 / initial_temperature) ** (1.0 / max(budget - 1, 1))
+    temperature = initial_temperature
+    attempts = 0
+    # The walk may revisit cached configurations without consuming budget;
+    # the attempt bound keeps termination deterministic.
+    while (
+        len(evaluator.cache) < min(budget, len(evaluator.configs))
+        and attempts < 20 * budget
+    ):
+        attempts += 1
+        neighbours = _neighbours(current.config, evaluator)
+        candidate_config = (
+            rng.choice(neighbours) if neighbours else rng.choice(evaluator.configs)
+        )
+        candidate = evaluator.evaluate(candidate_config)
+        if candidate.gflops > best.gflops:
+            best = candidate
+        delta = candidate.gflops - current.gflops
+        scale = max(best.gflops * temperature, 1e-9)
+        if delta >= 0 or rng.random() < pow(2.718281828, delta / scale):
+            current = candidate
+        temperature *= cooling
+    return HeuristicOutcome(
+        result=evaluator.result(),
+        evaluations=len(evaluator.cache),
+        budget=budget,
+    )
+
+
+def hill_climb(
+    device: DeviceSpec,
+    setup: ObservationSetup,
+    grid: DMTrialGrid,
+    budget: int = 50,
+    seed: int = 0,
+    samples: int | None = None,
+) -> HeuristicOutcome:
+    """Greedy best-neighbour ascent with random restarts."""
+    require_positive_int(budget, "budget")
+    evaluator = _make_evaluator(device, setup, grid, samples)
+    rng = random.Random(seed)
+
+    restarts = 0
+    # Restarts may land on already-evaluated configurations without
+    # consuming budget; the restart bound keeps termination deterministic.
+    while (
+        len(evaluator.cache) < min(budget, len(evaluator.configs))
+        and restarts < 20 * budget
+    ):
+        restarts += 1
+        current = rng.choice(evaluator.configs)
+        current_sample = evaluator.evaluate(current)
+        improved = True
+        while improved and len(evaluator.cache) < budget:
+            improved = False
+            best_neighbour = None
+            for neighbour in _neighbours(current_sample.config, evaluator):
+                if len(evaluator.cache) >= budget:
+                    break
+                sample = evaluator.evaluate(neighbour)
+                if (
+                    best_neighbour is None
+                    or sample.gflops > best_neighbour.gflops
+                ):
+                    best_neighbour = sample
+            if (
+                best_neighbour is not None
+                and best_neighbour.gflops > current_sample.gflops
+            ):
+                current_sample = best_neighbour
+                improved = True
+    return HeuristicOutcome(
+        result=evaluator.result(),
+        evaluations=len(evaluator.cache),
+        budget=budget,
+    )

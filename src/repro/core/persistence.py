@@ -1,0 +1,119 @@
+"""Persistence of tuning sweeps.
+
+A production installation tunes once per (device, setup, instance) and
+reuses the result for months — the paper's tuner is explicitly an offline
+step.  This module serialises a :class:`~repro.core.tuner.TuningResult`
+to a self-describing JSON document and back, so sweeps survive process
+restarts and can be shipped between machines.
+
+Reloaded sweeps re-simulate each stored configuration through the local
+performance model, then *verify* the stored GFLOP/s against the fresh
+numbers — a drifted model (edited catalogue, changed code) is detected
+instead of silently trusted.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.astro.dm_trials import DMTrialGrid
+from repro.astro.observation import ObservationSetup, apertif, lofar
+from repro.core.config import KernelConfiguration
+from repro.core.tuner import ConfigurationSample, TuningResult
+from repro.errors import TuningError, ValidationError
+from repro.hardware.catalog import device_by_name
+from repro.hardware.model import PerformanceModel
+
+#: Format version written into every document.
+SCHEMA_VERSION: int = 1
+
+
+def _setup_by_name(name: str) -> ObservationSetup:
+    table = {"apertif": apertif, "lofar": lofar}
+    try:
+        return table[name.lower()]()
+    except KeyError:
+        raise ValidationError(
+            f"unknown setup {name!r} in sweep document"
+        ) from None
+
+
+def sweep_to_document(result: TuningResult) -> dict:
+    """Serialise a sweep to a JSON-ready dictionary."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "device": result.device.name,
+        "setup": result.setup.name,
+        "grid": {
+            "n_dms": result.grid.n_dms,
+            "first": result.grid.first,
+            "step": result.grid.step,
+        },
+        "samples": [
+            {
+                "config": sample.config.as_tuple(),
+                "gflops": sample.gflops,
+            }
+            for sample in result.samples
+        ],
+    }
+
+
+def save_sweep(result: TuningResult, path: str | Path) -> Path:
+    """Write a sweep document to ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(sweep_to_document(result), indent=1))
+    return path
+
+
+def load_sweep(
+    path: str | Path,
+    verify: bool = True,
+    tolerance: float = 1e-6,
+) -> TuningResult:
+    """Load a sweep document and rebuild the :class:`TuningResult`.
+
+    With ``verify=True`` (default) every stored GFLOP/s is checked against
+    a fresh simulation; a mismatch beyond ``tolerance`` (relative) raises
+    :class:`TuningError` — the guard against loading sweeps produced by a
+    different model parameterisation.
+    """
+    document = json.loads(Path(path).read_text())
+    if document.get("schema") != SCHEMA_VERSION:
+        raise ValidationError(
+            f"unsupported sweep schema {document.get('schema')!r}"
+        )
+    device = device_by_name(document["device"])
+    setup = _setup_by_name(document["setup"])
+    grid_doc = document["grid"]
+    grid = DMTrialGrid(
+        n_dms=grid_doc["n_dms"],
+        first=grid_doc["first"],
+        step=grid_doc["step"],
+    )
+    model = PerformanceModel(device, setup, grid)
+
+    samples: list[ConfigurationSample] = []
+    for entry in document["samples"]:
+        config = KernelConfiguration(*entry["config"])
+        metrics = model.simulate(config, validate=False)
+        stored = float(entry["gflops"])
+        if verify and abs(metrics.gflops - stored) > tolerance * max(
+            stored, 1.0
+        ):
+            raise TuningError(
+                f"sweep at {path} no longer matches the model: "
+                f"{config.describe()} stored {stored:.3f} GFLOP/s, "
+                f"model now gives {metrics.gflops:.3f} "
+                "(re-tune instead of loading)"
+            )
+        samples.append(
+            ConfigurationSample(
+                config=config, gflops=metrics.gflops, metrics=metrics
+            )
+        )
+    return TuningResult(
+        device=device, setup=setup, grid=grid, samples=tuple(samples)
+    )

@@ -1,0 +1,101 @@
+"""Enumeration of the tuning search space.
+
+The tuner evaluates "every meaningful combination of the four parameters"
+(Sec. IV-A).  The raw cross-product is enormous, so — like the paper's
+tuner — we enumerate only geometrically sensible candidates and let the
+constraint checker prune the rest:
+
+* ``work_items_time`` ranges over divisors of the batch length (so a row of
+  work-items can tile the time dimension exactly), clamped to the device's
+  work-group limit.  This is why the paper's optima include values such as
+  250 and 1,000 rather than only powers of two.
+* ``elements_time`` ranges over divisors of the remaining per-row samples,
+  capped by ``max_elements_time``.
+* ``work_items_dm`` and ``elements_dm`` range over powers of two so that
+  DM tiles divide the power-of-two input instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.astro.dm_trials import DMTrialGrid
+from repro.astro.observation import ObservationSetup
+from repro.core.config import KernelConfiguration
+from repro.core.constraints import is_meaningful
+from repro.hardware.device import DeviceSpec
+from repro.utils.intmath import divisors, powers_of_two
+from repro.utils.validation import require_positive_int
+
+
+@dataclass(frozen=True)
+class TuningSpace:
+    """Candidate generator for one (device, setup, instance) combination.
+
+    ``max_elements_time`` / ``max_elements_dm`` bound the per-work-item
+    workload; the defaults cover the paper's observed optima (et up to 32,
+    ed up to 8) with headroom.
+    """
+
+    device: DeviceSpec
+    setup: ObservationSetup
+    grid: DMTrialGrid
+    samples: int = 0  # defaults to the setup batch
+    max_elements_time: int = 32
+    max_elements_dm: int = 8
+    max_work_items_dm: int = 64
+
+    def __post_init__(self) -> None:
+        if self.samples == 0:
+            object.__setattr__(self, "samples", self.setup.samples_per_batch)
+        require_positive_int(self.samples, "samples")
+        require_positive_int(self.max_elements_time, "max_elements_time")
+        require_positive_int(self.max_elements_dm, "max_elements_dm")
+        require_positive_int(self.max_work_items_dm, "max_work_items_dm")
+
+    # ------------------------------------------------------------------
+    def _work_items_time_candidates(self) -> list[int]:
+        limit = self.device.max_work_group_size
+        return [d for d in divisors(self.samples) if d <= limit]
+
+    def _elements_time_candidates(self, wt: int) -> list[int]:
+        per_row = self.samples // wt
+        return [d for d in divisors(per_row) if d <= self.max_elements_time]
+
+    def _dm_candidates(self) -> list[tuple[int, int]]:
+        pairs: list[tuple[int, int]] = []
+        for wd in powers_of_two(1, min(self.max_work_items_dm, self.grid.n_dms)):
+            for ed in powers_of_two(1, self.max_elements_dm):
+                if wd * ed <= self.grid.n_dms:
+                    pairs.append((wd, ed))
+        return pairs
+
+    # ------------------------------------------------------------------
+    def candidates(self) -> Iterator[KernelConfiguration]:
+        """All geometric candidates (not yet constraint-filtered)."""
+        dm_pairs = self._dm_candidates()
+        for wt in self._work_items_time_candidates():
+            ets = self._elements_time_candidates(wt)
+            for wd, ed in dm_pairs:
+                if wt * wd > self.device.max_work_group_size:
+                    continue
+                for et in ets:
+                    yield KernelConfiguration(
+                        work_items_time=wt,
+                        work_items_dm=wd,
+                        elements_time=et,
+                        elements_dm=ed,
+                    )
+
+    def meaningful(self) -> list[KernelConfiguration]:
+        """All meaningful configurations for this (device, setup, instance)."""
+        return [
+            c
+            for c in self.candidates()
+            if is_meaningful(c, self.device, self.setup, self.grid, self.samples)
+        ]
+
+    def size_estimate(self) -> int:
+        """Number of geometric candidates (upper bound on sweep size)."""
+        return sum(1 for _ in self.candidates())

@@ -1,0 +1,94 @@
+"""Statistics of the optimisation space (paper Sec. V-B, Figs. 8-10).
+
+The paper quantifies how special the tuned optimum is: its signal-to-noise
+ratio — "the distance from the average in terms of units of standard
+deviation" — and, via Chebyshev's inequality, an upper bound on the
+probability of finding a configuration at least that good by guessing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+def optimum_snr(population_gflops: np.ndarray) -> float:
+    """SNR of the optimum: ``(max - mean) / std`` of the population."""
+    population = np.asarray(population_gflops, dtype=np.float64)
+    if population.size < 2:
+        raise ValidationError("need at least two samples for an SNR")
+    std = float(np.std(population))
+    if std == 0.0:
+        return 0.0
+    # Clamp at zero: for numerically constant populations float rounding
+    # can place the mean marginally above the maximum.
+    return max(0.0, float((population.max() - population.mean()) / std))
+
+
+def chebyshev_probability_bound(snr: float) -> float:
+    """Chebyshev bound on guessing a configuration >= ``snr`` sigmas out.
+
+    ``P(|X - mu| >= k sigma) <= 1/k^2`` — the paper's "in the best case
+    scenario this probability is less than 39%, while in the worst case it
+    is less than 5%" corresponds to SNRs of ~1.6 and ~4.5.
+    """
+    if snr <= 0 or snr * snr == 0.0:  # guard denormal underflow
+        return 1.0
+    return min(1.0, 1.0 / (snr * snr))
+
+
+@dataclass(frozen=True)
+class OptimumStatistics:
+    """Full statistical characterisation of one tuning sweep."""
+
+    n_configurations: int
+    best_gflops: float
+    mean_gflops: float
+    std_gflops: float
+    median_gflops: float
+    snr: float
+    chebyshev_bound: float
+
+    @classmethod
+    def from_population(cls, population_gflops: np.ndarray) -> "OptimumStatistics":
+        """Compute every statistic from the sweep's GFLOP/s population."""
+        population = np.asarray(population_gflops, dtype=np.float64)
+        snr = optimum_snr(population)
+        return cls(
+            n_configurations=int(population.size),
+            best_gflops=float(population.max()),
+            mean_gflops=float(population.mean()),
+            std_gflops=float(population.std()),
+            median_gflops=float(np.median(population)),
+            snr=snr,
+            chebyshev_bound=chebyshev_probability_bound(snr),
+        )
+
+    def summary(self) -> str:
+        """One-line rendering used by reports."""
+        return (
+            f"optimum {self.best_gflops:.1f} GFLOP/s over "
+            f"{self.n_configurations} configs "
+            f"(mean {self.mean_gflops:.1f}, SNR {self.snr:.2f}, "
+            f"P(guess) <= {self.chebyshev_bound:.0%})"
+        )
+
+
+def performance_histogram(
+    population_gflops: np.ndarray,
+    n_bins: int = 40,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram of configurations over performance (the Fig. 10 shape).
+
+    Returns ``(counts, bin_edges)`` à la :func:`numpy.histogram`, with bins
+    spanning [0, max] so the optimum's isolation from the bulk is visible.
+    """
+    population = np.asarray(population_gflops, dtype=np.float64)
+    if population.size == 0:
+        raise ValidationError("population must be non-empty")
+    if n_bins <= 0:
+        raise ValidationError("n_bins must be positive")
+    return np.histogram(population, bins=n_bins, range=(0.0, float(population.max())))

@@ -1,0 +1,23 @@
+"""Experiment drivers: one per table and figure of the paper's evaluation.
+
+Every driver returns an :class:`~repro.experiments.base.ExperimentResult`
+whose ``render()`` is the textual equivalent of the paper's table/figure.
+:mod:`repro.experiments.registry` maps experiment ids (``table1``, ``fig2``
+... ``fig16``, ``ai``, ``deployment``) to their drivers; the benchmark
+suite and the CLI both go through it.
+"""
+
+from repro.experiments.base import ExperimentResult, SweepCache
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    run_experiment,
+    experiment_ids,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "SweepCache",
+    "EXPERIMENTS",
+    "run_experiment",
+    "experiment_ids",
+]

@@ -1,0 +1,123 @@
+"""Shared experiment infrastructure: result container and sweep cache.
+
+Most figures consume the same tuning sweeps (a full sweep per device,
+setup and input instance), so :class:`SweepCache` memoises them; running
+every experiment back to back costs one sweep per combination, not one per
+figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.astro.dm_trials import DMTrialGrid
+from repro.astro.observation import ObservationSetup, apertif, lofar
+from repro.constants import INPUT_INSTANCES
+from repro.core.tuner import AutoTuner, TuningResult
+from repro.hardware.catalog import paper_accelerators
+from repro.hardware.device import DeviceSpec
+from repro.analysis.reporting import format_lineplot, format_series, format_table
+
+
+#: Input instances used by default: the paper's 12 powers of two, trimmed
+#: is possible through the ``instances`` argument of every driver.
+DEFAULT_INSTANCES: tuple[int, ...] = INPUT_INSTANCES
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Reproduced table/figure data plus its textual rendering.
+
+    ``series`` maps a legend label to y-values over ``x_values`` — empty
+    for pure tables, which carry ``headers``/``rows`` instead.
+    """
+
+    experiment_id: str
+    title: str
+    x_label: str = ""
+    x_values: tuple = ()
+    series: dict[str, tuple[float, ...]] = field(default_factory=dict)
+    headers: tuple[str, ...] = ()
+    rows: tuple[tuple, ...] = ()
+    notes: str = ""
+
+    def render(self, precision: int = 1) -> str:
+        """The paper-style textual table/series."""
+        if self.series:
+            body = format_series(
+                self.x_label,
+                self.x_values,
+                {k: list(v) for k, v in self.series.items()},
+                title=self.title,
+                precision=precision,
+            )
+        else:
+            body = format_table(self.headers, self.rows, title=self.title)
+        if self.notes:
+            body += f"\n{self.notes}"
+        return body
+
+    def render_plot(self, height: int = 16, width: int = 64) -> str:
+        """ASCII chart of the series (figure experiments only)."""
+        if not self.series:
+            raise ValueError(
+                f"experiment {self.experiment_id} has no series to plot"
+            )
+        return format_lineplot(
+            self.x_label,
+            self.x_values,
+            {k: list(v) for k, v in self.series.items()},
+            title=self.title,
+            height=height,
+            width=width,
+        )
+
+
+class SweepCache:
+    """Memoised tuning sweeps shared by all experiment drivers."""
+
+    def __init__(self) -> None:
+        self._sweeps: dict[tuple, TuningResult] = {}
+
+    def sweep(
+        self,
+        device: DeviceSpec,
+        setup: ObservationSetup,
+        n_dms: int,
+        zero_dm: bool = False,
+    ) -> TuningResult:
+        """The full tuning sweep for one (device, setup, instance)."""
+        key = (device.name, setup.name, n_dms, zero_dm)
+        if key not in self._sweeps:
+            grid = (
+                DMTrialGrid.zero_dm(n_dms) if zero_dm else DMTrialGrid(n_dms)
+            )
+            self._sweeps[key] = AutoTuner(device, setup).tune(grid)
+        return self._sweeps[key]
+
+    def tuned_gflops(
+        self,
+        device: DeviceSpec,
+        setup: ObservationSetup,
+        instances: Sequence[int],
+        zero_dm: bool = False,
+    ) -> dict[int, float]:
+        """Tuned-optimum GFLOP/s per instance."""
+        return {
+            n: self.sweep(device, setup, n, zero_dm).best.gflops
+            for n in instances
+        }
+
+    def __len__(self) -> int:
+        return len(self._sweeps)
+
+
+def standard_setups() -> tuple[ObservationSetup, ObservationSetup]:
+    """(Apertif, LOFAR) — the paper's two observational setups."""
+    return apertif(), lofar()
+
+
+def standard_devices() -> tuple[DeviceSpec, ...]:
+    """The five accelerators of Table I."""
+    return paper_accelerators()

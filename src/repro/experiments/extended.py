@@ -1,0 +1,94 @@
+"""Extended experiments beyond the paper's figures.
+
+* ``sensitivity`` — the DM-error sensitivity cone (Cordes & McLaughlin)
+  for both setups, quantifying Sec. II's "slightly off => undetectable"
+  statement and validating the DDplan step choices.
+* ``sweep-dump`` — the full optimisation-space population of one
+  (device, setup, instance) as rows (the data behind Fig. 10, exportable
+  through :mod:`repro.analysis.export`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.astro.dm_trials import DMTrialGrid
+from repro.astro.sensitivity import (
+    half_power_dm_error,
+    sensitivity_curve,
+)
+from repro.core.tuner import TuningResult
+from repro.experiments.base import (
+    ExperimentResult,
+    SweepCache,
+    standard_setups,
+)
+from repro.hardware.catalog import device_by_name
+
+
+def run_sensitivity(
+    cache: SweepCache | None = None,  # accepted for registry uniformity
+    pulse_width_ms: float = 1.0,
+    n_points: int = 13,
+) -> ExperimentResult:
+    """The DM-error sensitivity curve per setup (extended figure)."""
+    width = pulse_width_ms * 1e-3
+    series: dict[str, tuple[float, ...]] = {}
+    setups = standard_setups()
+    # Sample errors out to twice the *wider* setup's half-power point so
+    # both curves are visible on one axis.
+    errors = np.linspace(
+        0.0,
+        2.0 * max(half_power_dm_error(s, width) for s in setups),
+        n_points,
+    )
+    for setup in setups:
+        series[setup.name] = tuple(
+            float(v) for v in sensitivity_curve(setup, errors, width)
+        )
+    notes_parts = [
+        f"{s.name}: half-power at |dDM| = "
+        f"{half_power_dm_error(s, width):.3f} pc/cm^3"
+        for s in setups
+    ]
+    return ExperimentResult(
+        experiment_id="sensitivity",
+        title=(
+            f"Extended: S/N retained vs DM error for a "
+            f"{pulse_width_ms:.1f} ms pulse (Cordes & McLaughlin response)"
+        ),
+        x_label="DM error (pc/cm^3)",
+        x_values=tuple(round(float(e), 3) for e in errors),
+        series=series,
+        notes="; ".join(notes_parts),
+    )
+
+
+def run_sweep_dump(
+    cache: SweepCache | None = None,
+    device_name: str = "HD7970",
+    setup_name: str = "Apertif",
+    n_dms: int = 1024,
+    top: int = 25,
+) -> ExperimentResult:
+    """The optimisation-space population behind Fig. 10, as a table."""
+    cache = SweepCache() if cache is None else cache
+    device = device_by_name(device_name)
+    setup = next(
+        s for s in standard_setups() if s.name.lower() == setup_name.lower()
+    )
+    sweep: TuningResult = cache.sweep(device, setup, n_dms)
+    rows = sweep.to_rows()[:top]
+    return ExperimentResult(
+        experiment_id="sweep-dump",
+        title=(
+            f"Extended: top {top} of {sweep.n_configurations} "
+            f"configurations, {device.name}/{setup.name} at {n_dms} DMs"
+        ),
+        headers=TuningResult.ROW_HEADERS,
+        rows=tuple(rows),
+        notes=(
+            "Full population exportable via repro.analysis.export on the "
+            "sweep's to_rows()."
+        ),
+    )

@@ -1,0 +1,56 @@
+"""Figures 6-7: performance of auto-tuned dedispersion, with the real-time line."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.astro.observation import ObservationSetup
+from repro.experiments.base import (
+    DEFAULT_INSTANCES,
+    ExperimentResult,
+    SweepCache,
+    standard_devices,
+    standard_setups,
+)
+
+
+def _run(
+    experiment_id: str,
+    setup: ObservationSetup,
+    cache: SweepCache | None,
+    instances: Sequence[int],
+) -> ExperimentResult:
+    cache = SweepCache() if cache is None else cache
+    series: dict[str, tuple[float, ...]] = {}
+    for device in standard_devices():
+        tuned = cache.tuned_gflops(device, setup, instances)
+        series[device.name] = tuple(tuned[n] for n in instances)
+    series["real-time"] = tuple(
+        setup.realtime_gflops(n) for n in instances
+    )
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=(
+            f"Fig. {experiment_id[3:]}: performance of auto-tuned "
+            f"dedispersion, {setup.name} (GFLOP/s, higher is better)"
+        ),
+        x_label="DMs",
+        x_values=tuple(instances),
+        series=series,
+    )
+
+
+def run_fig6(
+    cache: SweepCache | None = None,
+    instances: Sequence[int] = DEFAULT_INSTANCES,
+) -> ExperimentResult:
+    """Fig. 6: tuned performance, Apertif."""
+    return _run("fig6", standard_setups()[0], cache, instances)
+
+
+def run_fig7(
+    cache: SweepCache | None = None,
+    instances: Sequence[int] = DEFAULT_INSTANCES,
+) -> ExperimentResult:
+    """Fig. 7: tuned performance, LOFAR."""
+    return _run("fig7", standard_setups()[1], cache, instances)

@@ -1,0 +1,94 @@
+"""Figures 8-10: statistics of the optimum.
+
+Figs. 8-9 plot the optimum's signal-to-noise ratio over the optimisation
+space per instance; Fig. 10 shows one space's histogram (HD7970, Apertif),
+where "the optimum lies far from the typical configuration".
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.astro.observation import ObservationSetup
+from repro.core.stats import optimum_snr, performance_histogram
+from repro.experiments.base import (
+    DEFAULT_INSTANCES,
+    ExperimentResult,
+    SweepCache,
+    standard_devices,
+    standard_setups,
+)
+from repro.hardware.catalog import hd7970
+
+
+def _run_snr(
+    experiment_id: str,
+    setup: ObservationSetup,
+    cache: SweepCache | None,
+    instances: Sequence[int],
+) -> ExperimentResult:
+    cache = SweepCache() if cache is None else cache
+    series: dict[str, tuple[float, ...]] = {}
+    for device in standard_devices():
+        values = [
+            optimum_snr(cache.sweep(device, setup, n).population_gflops)
+            for n in instances
+        ]
+        series[device.name] = tuple(values)
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=(
+            f"Fig. {experiment_id[3:]}: signal-to-noise ratio of the "
+            f"optimum, {setup.name}"
+        ),
+        x_label="DMs",
+        x_values=tuple(instances),
+        series=series,
+    )
+
+
+def run_fig8(
+    cache: SweepCache | None = None,
+    instances: Sequence[int] = DEFAULT_INSTANCES,
+) -> ExperimentResult:
+    """Fig. 8: SNR of the optimum, Apertif."""
+    return _run_snr("fig8", standard_setups()[0], cache, instances)
+
+
+def run_fig9(
+    cache: SweepCache | None = None,
+    instances: Sequence[int] = DEFAULT_INSTANCES,
+) -> ExperimentResult:
+    """Fig. 9: SNR of the optimum, LOFAR."""
+    return _run_snr("fig9", standard_setups()[1], cache, instances)
+
+
+def run_fig10(
+    cache: SweepCache | None = None,
+    n_dms: int = 1024,
+    n_bins: int = 40,
+) -> ExperimentResult:
+    """Fig. 10: performance histogram of the HD7970/Apertif space."""
+    cache = SweepCache() if cache is None else cache
+    setup = standard_setups()[0]
+    sweep = cache.sweep(hd7970(), setup, n_dms)
+    counts, edges = performance_histogram(
+        sweep.population_gflops, n_bins=n_bins
+    )
+    centers = tuple(
+        float((edges[i] + edges[i + 1]) / 2) for i in range(len(counts))
+    )
+    return ExperimentResult(
+        experiment_id="fig10",
+        title=(
+            f"Fig. 10: configurations over performance, HD7970/"
+            f"{setup.name} at {n_dms} DMs"
+        ),
+        x_label="GFLOP/s (bin centre)",
+        x_values=centers,
+        series={"configurations": tuple(float(c) for c in counts)},
+        notes=(
+            f"optimum: {sweep.best.gflops:.1f} GFLOP/s over "
+            f"{sweep.n_configurations} configurations"
+        ),
+    )

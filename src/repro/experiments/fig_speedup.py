@@ -1,0 +1,110 @@
+"""Figures 13-16: speedups over fixed configurations and over the CPU.
+
+Figs. 13-14: tuned optimum vs the best *fixed* configuration — the single
+configuration per (device, setup) that maximises summed GFLOP/s while
+remaining meaningful on every input instance (Sec. V-D).  Figs. 15-16:
+tuned optimum vs the OpenMP+AVX CPU implementation on the Xeon E5-2620.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.astro.dm_trials import DMTrialGrid
+from repro.astro.observation import ObservationSetup
+from repro.core.fixed import best_fixed_configuration
+from repro.experiments.base import (
+    DEFAULT_INSTANCES,
+    ExperimentResult,
+    SweepCache,
+    standard_devices,
+    standard_setups,
+)
+from repro.hardware.cpu_model import CPUModel
+
+
+def _run_fixed(
+    experiment_id: str,
+    setup: ObservationSetup,
+    cache: SweepCache | None,
+    instances: Sequence[int],
+) -> ExperimentResult:
+    cache = SweepCache() if cache is None else cache
+    series: dict[str, tuple[float, ...]] = {}
+    for device in standard_devices():
+        sweeps = {n: cache.sweep(device, setup, n) for n in instances}
+        fixed = best_fixed_configuration(sweeps)
+        tuned = {n: sweeps[n].best.gflops for n in instances}
+        speedups = fixed.speedup_of_tuned(tuned)
+        series[device.name] = tuple(speedups[n] for n in instances)
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=(
+            f"Fig. {experiment_id[3:]}: speedup over fixed configuration, "
+            f"{setup.name} (higher is better)"
+        ),
+        x_label="DMs",
+        x_values=tuple(instances),
+        series=series,
+    )
+
+
+def _run_cpu(
+    experiment_id: str,
+    setup: ObservationSetup,
+    cache: SweepCache | None,
+    instances: Sequence[int],
+) -> ExperimentResult:
+    cache = SweepCache() if cache is None else cache
+    cpu = CPUModel()
+    cpu_gflops = {
+        n: cpu.simulate(setup, DMTrialGrid(n)).gflops for n in instances
+    }
+    series: dict[str, tuple[float, ...]] = {}
+    for device in standard_devices():
+        tuned = cache.tuned_gflops(device, setup, instances)
+        series[device.name] = tuple(
+            tuned[n] / cpu_gflops[n] for n in instances
+        )
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=(
+            f"Fig. {experiment_id[3:]}: speedup over a CPU implementation, "
+            f"{setup.name} (higher is better)"
+        ),
+        x_label="DMs",
+        x_values=tuple(instances),
+        series=series,
+    )
+
+
+def run_fig13(
+    cache: SweepCache | None = None,
+    instances: Sequence[int] = DEFAULT_INSTANCES,
+) -> ExperimentResult:
+    """Fig. 13: speedup over fixed configuration, Apertif."""
+    return _run_fixed("fig13", standard_setups()[0], cache, instances)
+
+
+def run_fig14(
+    cache: SweepCache | None = None,
+    instances: Sequence[int] = DEFAULT_INSTANCES,
+) -> ExperimentResult:
+    """Fig. 14: speedup over fixed configuration, LOFAR."""
+    return _run_fixed("fig14", standard_setups()[1], cache, instances)
+
+
+def run_fig15(
+    cache: SweepCache | None = None,
+    instances: Sequence[int] = DEFAULT_INSTANCES,
+) -> ExperimentResult:
+    """Fig. 15: speedup over the CPU implementation, Apertif."""
+    return _run_cpu("fig15", standard_setups()[0], cache, instances)
+
+
+def run_fig16(
+    cache: SweepCache | None = None,
+    instances: Sequence[int] = DEFAULT_INSTANCES,
+) -> ExperimentResult:
+    """Fig. 16: speedup over the CPU implementation, LOFAR."""
+    return _run_cpu("fig16", standard_setups()[1], cache, instances)

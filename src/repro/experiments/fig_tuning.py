@@ -1,0 +1,95 @@
+"""Figures 2-5: the tuned optima of the four kernel parameters.
+
+Figs. 2-3 plot the optimal *work-items per work-group* (``wt*wd``) against
+the number of DMs for Apertif and LOFAR; Figs. 4-5 plot the optimal
+*registers per work-item* (the ``et*ed`` accumulators).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.astro.observation import ObservationSetup
+from repro.experiments.base import (
+    DEFAULT_INSTANCES,
+    ExperimentResult,
+    SweepCache,
+    standard_devices,
+    standard_setups,
+)
+
+
+def _tuned_parameter_series(
+    cache: SweepCache,
+    setup: ObservationSetup,
+    instances: Sequence[int],
+    parameter: str,
+) -> dict[str, tuple[float, ...]]:
+    series: dict[str, tuple[float, ...]] = {}
+    for device in standard_devices():
+        values = []
+        for n_dms in instances:
+            config = cache.sweep(device, setup, n_dms).best.config
+            values.append(
+                float(
+                    config.work_items_per_group
+                    if parameter == "work_items"
+                    else config.accumulators
+                )
+            )
+        series[device.name] = tuple(values)
+    return series
+
+
+def _run(
+    experiment_id: str,
+    setup: ObservationSetup,
+    parameter: str,
+    cache: SweepCache | None,
+    instances: Sequence[int],
+) -> ExperimentResult:
+    cache = SweepCache() if cache is None else cache
+    label = (
+        "work-items per work-group"
+        if parameter == "work_items"
+        else "registers per work-item"
+    )
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=f"Fig. {experiment_id[3:]}: tuning the number of {label}, {setup.name}",
+        x_label="DMs",
+        x_values=tuple(instances),
+        series=_tuned_parameter_series(cache, setup, instances, parameter),
+    )
+
+
+def run_fig2(
+    cache: SweepCache | None = None,
+    instances: Sequence[int] = DEFAULT_INSTANCES,
+) -> ExperimentResult:
+    """Fig. 2: tuned work-items per work-group, Apertif."""
+    return _run("fig2", standard_setups()[0], "work_items", cache, instances)
+
+
+def run_fig3(
+    cache: SweepCache | None = None,
+    instances: Sequence[int] = DEFAULT_INSTANCES,
+) -> ExperimentResult:
+    """Fig. 3: tuned work-items per work-group, LOFAR."""
+    return _run("fig3", standard_setups()[1], "work_items", cache, instances)
+
+
+def run_fig4(
+    cache: SweepCache | None = None,
+    instances: Sequence[int] = DEFAULT_INSTANCES,
+) -> ExperimentResult:
+    """Fig. 4: tuned registers per work-item, Apertif."""
+    return _run("fig4", standard_setups()[0], "registers", cache, instances)
+
+
+def run_fig5(
+    cache: SweepCache | None = None,
+    instances: Sequence[int] = DEFAULT_INSTANCES,
+) -> ExperimentResult:
+    """Fig. 5: tuned registers per work-item, LOFAR."""
+    return _run("fig5", standard_setups()[1], "registers", cache, instances)

@@ -1,0 +1,60 @@
+"""Figures 11-12: performance in the 0-DM (perfect data-reuse) scenario.
+
+All trial DMs take the value 0 so every dedispersed series uses exactly the
+same input: theoretically perfect reuse.  Comparing against Figs. 6-7 shows
+(a) Apertif barely changes — its reuse was already hardware-saturated — and
+(b) LOFAR jumps to Apertif-level performance, proving the observational
+setup (through the reuse it exposes) is what limited it (Sec. V-C).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.astro.observation import ObservationSetup
+from repro.experiments.base import (
+    DEFAULT_INSTANCES,
+    ExperimentResult,
+    SweepCache,
+    standard_devices,
+    standard_setups,
+)
+
+
+def _run(
+    experiment_id: str,
+    setup: ObservationSetup,
+    cache: SweepCache | None,
+    instances: Sequence[int],
+) -> ExperimentResult:
+    cache = SweepCache() if cache is None else cache
+    series: dict[str, tuple[float, ...]] = {}
+    for device in standard_devices():
+        tuned = cache.tuned_gflops(device, setup, instances, zero_dm=True)
+        series[device.name] = tuple(tuned[n] for n in instances)
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=(
+            f"Fig. {experiment_id[3:]}: performance in a 0 DM scenario, "
+            f"{setup.name} (GFLOP/s, higher is better)"
+        ),
+        x_label="DMs",
+        x_values=tuple(instances),
+        series=series,
+    )
+
+
+def run_fig11(
+    cache: SweepCache | None = None,
+    instances: Sequence[int] = DEFAULT_INSTANCES,
+) -> ExperimentResult:
+    """Fig. 11: 0-DM performance, Apertif."""
+    return _run("fig11", standard_setups()[0], cache, instances)
+
+
+def run_fig12(
+    cache: SweepCache | None = None,
+    instances: Sequence[int] = DEFAULT_INSTANCES,
+) -> ExperimentResult:
+    """Fig. 12: 0-DM performance, LOFAR."""
+    return _run("fig12", standard_setups()[1], cache, instances)

@@ -1,0 +1,83 @@
+"""Registry mapping experiment ids to their drivers."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ExperimentError
+from repro.experiments.base import ExperimentResult
+from repro.experiments.table1 import run_table1
+from repro.experiments.fig_tuning import run_fig2, run_fig3, run_fig4, run_fig5
+from repro.experiments.fig_performance import run_fig6, run_fig7
+from repro.experiments.fig_snr import run_fig8, run_fig9, run_fig10
+from repro.experiments.fig_zerodm import run_fig11, run_fig12
+from repro.experiments.fig_speedup import (
+    run_fig13,
+    run_fig14,
+    run_fig15,
+    run_fig16,
+)
+from repro.experiments.analysis_ai import run_ai
+from repro.experiments.deployment import run_deployment
+from repro.experiments.extended import run_sensitivity, run_sweep_dump
+from repro.experiments.portability import run_portability
+from repro.experiments.ablation import (
+    run_ablation_coalescing,
+    run_ablation_parameters,
+    run_ablation_phi,
+    run_ablation_quantization,
+    run_ablation_staging,
+    run_ablation_subband,
+    run_ablation_tuner,
+)
+
+#: Experiment id -> driver.  Drivers accepting a shared
+#: :class:`~repro.experiments.base.SweepCache` take it as their first
+#: keyword argument; pure tables take none.
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "table1": run_table1,
+    "fig2": run_fig2,
+    "fig3": run_fig3,
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "fig10": run_fig10,
+    "fig11": run_fig11,
+    "fig12": run_fig12,
+    "fig13": run_fig13,
+    "fig14": run_fig14,
+    "fig15": run_fig15,
+    "fig16": run_fig16,
+    "ai": run_ai,
+    "deployment": run_deployment,
+    "ablation-staging": run_ablation_staging,
+    "ablation-coalescing": run_ablation_coalescing,
+    "ablation-parameters": run_ablation_parameters,
+    "ablation-tuner": run_ablation_tuner,
+    "ablation-phi": run_ablation_phi,
+    "ablation-quantization": run_ablation_quantization,
+    "ablation-subband": run_ablation_subband,
+    "sensitivity": run_sensitivity,
+    "sweep-dump": run_sweep_dump,
+    "portability": run_portability,
+}
+
+
+def experiment_ids() -> tuple[str, ...]:
+    """All known experiment ids, in paper order."""
+    return tuple(EXPERIMENTS)
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run one experiment by id."""
+    try:
+        driver = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {', '.join(EXPERIMENTS)}"
+        ) from None
+    return driver(**kwargs)

@@ -1,0 +1,16 @@
+"""Table I: characteristics of the used many-core accelerators."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, standard_devices
+
+
+def run_table1() -> ExperimentResult:
+    """Reproduce Table I from the device catalogue."""
+    rows = tuple(device.table1_row() for device in standard_devices())
+    return ExperimentResult(
+        experiment_id="table1",
+        title="Table I: characteristics of the used many-core accelerators",
+        headers=("Platform", "CEs", "GFLOP/s", "GB/s"),
+        rows=rows,
+    )

@@ -1,0 +1,323 @@
+"""The device catalogue: the five accelerators of Table I plus the CPU.
+
+Published figures come from the paper's Table I and vendor datasheets
+(GCN "Tahiti", Kepler GK104/GK110, Knights Corner, Sandy Bridge-EP).
+Calibrated efficiency parameters follow the derivation in DESIGN.md §4; the
+headline sanity check is the compute ceiling for the dedispersion inner
+loop, ``peak x 1/2 (no FMA) x issue_efficiency``, which must land near the
+paper's measured plateau for each device:
+
+==============  =======  ==============  ====================
+device          peak     ceiling (calc)  paper plateau (Fig 6)
+==============  =======  ==============  ====================
+HD7970          3,788    ~380 GFLOP/s    ~360 GFLOP/s
+GTX 680         3,090    ~170 GFLOP/s    ~150-180 GFLOP/s
+K20             3,519    ~176 GFLOP/s    ~150-180 GFLOP/s
+GTX Titan       4,500    ~191 GFLOP/s    ~170-190 GFLOP/s
+Xeon Phi 5110P  2,022    ~45 GFLOP/s     ~45 GFLOP/s
+==============  =======  ==============  ====================
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.errors import DeviceError
+from repro.hardware.device import DeviceSpec
+
+
+@lru_cache(maxsize=None)
+def hd7970() -> DeviceSpec:
+    """AMD Radeon HD7970 (GCN "Tahiti").
+
+    32 CUs x 64 lanes at 925 MHz; 3.79 TFLOP/s, 264 GB/s.  Hardware caps
+    work-groups at 256 work-items.  64 KiB LDS per CU (32 KiB visible per
+    work-group) with very high bandwidth gives it the best issue efficiency
+    for staged-load kernels, which is why it tops the Apertif experiment.
+    """
+    return DeviceSpec(
+        name="HD7970",
+        vendor="AMD",
+        device_type="gpu",
+        compute_units=32,
+        lanes_per_cu=64,
+        clock_ghz=0.925,
+        peak_gflops=3788.0,
+        peak_bandwidth_gbs=264.0,
+        max_work_group_size=256,
+        wavefront=64,
+        max_work_items_per_cu=2560,  # 40 wavefronts x 64 lanes
+        max_work_groups_per_cu=40,
+        registers_per_cu=65536,  # 256 KiB VGPR file / 4 B
+        max_registers_per_item=256,
+        local_memory_per_cu=65536,
+        max_local_memory_per_wg=32768,
+        cache_line_bytes=64,
+        l2_cache_bytes=768 * 1024,
+        issue_efficiency=0.22,
+        issue_overhead_slots=1.0,  # single-cycle LDS ops on GCN
+        memory_efficiency=0.78,
+        occupancy_knee=0.40,
+        ilp_factor=0.02,
+        cache_quality=0.28,
+        launch_overhead_s=0.30e-3,
+        wg_overhead_s=0.15e-6,
+    )
+
+
+@lru_cache(maxsize=None)
+def xeon_phi_5110p() -> DeviceSpec:
+    """Intel Xeon Phi 5110P (Knights Corner).
+
+    60 cores x 16-lane 512-bit SP vectors at 1.053 GHz; 2.02 TFLOP/s,
+    320 GB/s.  The 2013-era OpenCL runtime compiles each work-group into a
+    software loop over work-items vectorised 16-wide, so configurations
+    beyond 16 work-items pay a serialisation penalty; local memory is
+    emulated in ordinary cached memory; achievable bandwidth and issue
+    rates are far below the datasheet (the paper calls the implementation
+    "immature").  The 30 MiB aggregate L2 is its one strength: cache-based
+    reuse remains possible where GPUs' local stores overflow, which is why
+    the Phi's gap narrows from 7.5x (Apertif) to 2.5x (LOFAR).
+    """
+    return DeviceSpec(
+        name="Xeon Phi 5110P",
+        vendor="Intel",
+        device_type="accelerator",
+        compute_units=60,
+        lanes_per_cu=16,
+        clock_ghz=1.053,
+        peak_gflops=2022.0,
+        peak_bandwidth_gbs=320.0,
+        max_work_group_size=8192,
+        wavefront=16,
+        max_work_items_per_cu=8192,
+        max_work_groups_per_cu=8,
+        registers_per_cu=1 << 20,  # effectively unconstrained (spill to L1)
+        max_registers_per_item=512,
+        local_memory_per_cu=1 << 20,
+        max_local_memory_per_wg=1 << 20,
+        local_memory_is_emulated=True,
+        cache_line_bytes=64,
+        l2_cache_bytes=30 * 1024 * 1024,
+        issue_efficiency=0.055,
+        issue_overhead_slots=2.0,
+        memory_efficiency=0.35,
+        occupancy_knee=0.05,  # cores need few threads, not massive SMT
+        ilp_factor=0.0,
+        cache_quality=0.85,
+        launch_overhead_s=1.5e-3,
+        wg_overhead_s=1.0e-6,
+        preferred_wg_multiple=16,
+        oversize_penalty=0.035,
+        table1_ces="2 x 60",
+    )
+
+
+@lru_cache(maxsize=None)
+def gtx680() -> DeviceSpec:
+    """NVIDIA GTX 680 (Kepler GK104).
+
+    8 SMX x 192 lanes at 1.006 GHz; 3.09 TFLOP/s, 192 GB/s.  GK104 caps
+    threads at 63 registers and has little per-thread ILP, so it must hide
+    latency with sheer occupancy — the tuner correctly drives it to the
+    1,024 work-item work-group maximum (Figs. 2-3).
+    """
+    return DeviceSpec(
+        name="GTX 680",
+        vendor="NVIDIA",
+        device_type="gpu",
+        compute_units=8,
+        lanes_per_cu=192,
+        clock_ghz=1.006,
+        peak_gflops=3090.0,
+        peak_bandwidth_gbs=192.0,
+        max_work_group_size=1024,
+        wavefront=32,
+        max_work_items_per_cu=2048,
+        max_work_groups_per_cu=16,
+        registers_per_cu=65536,
+        max_registers_per_item=63,
+        local_memory_per_cu=49152,
+        max_local_memory_per_wg=49152,
+        cache_line_bytes=128,
+        l2_cache_bytes=512 * 1024,
+        issue_efficiency=0.138,
+        issue_overhead_slots=2.0,
+        memory_efficiency=0.75,
+        occupancy_knee=0.85,
+        ilp_factor=0.02,
+        cache_quality=0.35,
+        launch_overhead_s=0.30e-3,
+        wg_overhead_s=0.2e-6,
+    )
+
+
+@lru_cache(maxsize=None)
+def k20() -> DeviceSpec:
+    """NVIDIA Tesla K20 (Kepler GK110).
+
+    13 SMX x 192 lanes at 0.705 GHz; 3.52 TFLOP/s, 208 GB/s (ECC).  GK110
+    allows 255 registers per thread and rewards instruction-level
+    parallelism, so its tuned configurations carry heavy work-items
+    (et x ed ~ 100 on Apertif, Figs. 4-5).  The paper judges it "a poor
+    match" for dedispersion: not enough bandwidth per FLOP.
+    """
+    return DeviceSpec(
+        name="K20",
+        vendor="NVIDIA",
+        device_type="gpu",
+        compute_units=13,
+        lanes_per_cu=192,
+        clock_ghz=0.705,
+        peak_gflops=3519.0,
+        peak_bandwidth_gbs=208.0,
+        max_work_group_size=1024,
+        wavefront=32,
+        max_work_items_per_cu=2048,
+        max_work_groups_per_cu=16,
+        registers_per_cu=65536,
+        max_registers_per_item=255,
+        local_memory_per_cu=49152,
+        max_local_memory_per_wg=49152,
+        cache_line_bytes=128,
+        l2_cache_bytes=1536 * 1024,
+        issue_efficiency=0.125,
+        issue_overhead_slots=2.0,
+        memory_efficiency=0.68,  # ECC overhead
+        occupancy_knee=0.55,
+        ilp_factor=0.08,
+        cache_quality=0.35,
+        launch_overhead_s=0.30e-3,
+        wg_overhead_s=0.2e-6,
+    )
+
+
+@lru_cache(maxsize=None)
+def gtx_titan() -> DeviceSpec:
+    """NVIDIA GTX Titan (Kepler GK110).
+
+    14 SMX x 192 lanes at 0.837 GHz; 4.50 TFLOP/s, 288 GB/s.  Same
+    micro-architecture as the K20 but with more bandwidth and no ECC, which
+    lifts it to the top of the NVIDIA cluster, and — in the bandwidth-bound
+    LOFAR setup — next to the HD7970 (Fig. 7).
+    """
+    return DeviceSpec(
+        name="GTX Titan",
+        vendor="NVIDIA",
+        device_type="gpu",
+        compute_units=14,
+        lanes_per_cu=192,
+        clock_ghz=0.837,
+        peak_gflops=4500.0,
+        peak_bandwidth_gbs=288.0,
+        max_work_group_size=1024,
+        wavefront=32,
+        max_work_items_per_cu=2048,
+        max_work_groups_per_cu=16,
+        registers_per_cu=65536,
+        max_registers_per_item=255,
+        local_memory_per_cu=49152,
+        max_local_memory_per_wg=49152,
+        cache_line_bytes=128,
+        l2_cache_bytes=1536 * 1024,
+        issue_efficiency=0.106,
+        issue_overhead_slots=2.0,
+        memory_efficiency=0.75,
+        occupancy_knee=0.55,
+        ilp_factor=0.08,
+        cache_quality=0.35,
+        launch_overhead_s=0.30e-3,
+        wg_overhead_s=0.2e-6,
+    )
+
+
+@lru_cache(maxsize=None)
+def xeon_e5_2620() -> DeviceSpec:
+    """Intel Xeon E5-2620 (Sandy Bridge-EP) — the paper's CPU baseline.
+
+    6 cores x 8-lane AVX at 2.0 GHz.  Peak 96 GFLOP/s using separate
+    add/multiply ports; for the pure-add dedispersion loop only the add
+    port counts, which the no-FMA factor plus issue efficiency capture.
+    42.6 GB/s of DDR3-1333 over four channels; 15 MiB L3 gives it good
+    cache reuse.  The OpenMP+AVX implementation of Sec. V-D is modelled by
+    :class:`repro.hardware.cpu_model.CPUModel` on top of this spec.
+    """
+    return DeviceSpec(
+        name="Xeon E5-2620",
+        vendor="Intel",
+        device_type="cpu",
+        compute_units=6,
+        lanes_per_cu=8,
+        clock_ghz=2.0,
+        peak_gflops=96.0,
+        peak_bandwidth_gbs=42.6,
+        max_work_group_size=1024,
+        wavefront=8,
+        max_work_items_per_cu=2048,
+        max_work_groups_per_cu=8,
+        registers_per_cu=1 << 20,
+        max_registers_per_item=512,
+        local_memory_per_cu=1 << 20,
+        max_local_memory_per_wg=1 << 20,
+        local_memory_is_emulated=True,
+        cache_line_bytes=64,
+        l2_cache_bytes=15 * 1024 * 1024,
+        issue_efficiency=0.14,
+        issue_overhead_slots=1.0,
+        memory_efficiency=0.60,
+        occupancy_knee=0.05,
+        ilp_factor=0.0,
+        cache_quality=0.90,
+        launch_overhead_s=0.05e-3,
+        wg_overhead_s=0.5e-6,
+        preferred_wg_multiple=8,
+        oversize_penalty=0.01,
+    )
+
+
+@lru_cache(maxsize=None)
+def xeon_phi_5110p_openmp() -> DeviceSpec:
+    """Projection of a native OpenMP implementation on the Xeon Phi.
+
+    The paper's stated future work: "tune an OpenMP implementation of the
+    algorithm on the Xeon Phi, and compare its performance with OpenCL".
+    This profile models that scenario — no per-work-group software loop
+    (native threads pinned per core), substantially better achievable
+    bandwidth and issue rates than the 2013 OpenCL runtime, same silicon.
+    Used by ``repro.experiments.ablation.run_ablation_phi``.
+    """
+    base = xeon_phi_5110p()
+    from dataclasses import replace
+
+    return replace(
+        base,
+        name="Xeon Phi 5110P (OpenMP)",
+        issue_efficiency=0.11,
+        memory_efficiency=0.55,
+        preferred_wg_multiple=16,
+        oversize_penalty=0.005,
+        launch_overhead_s=0.2e-3,
+    )
+
+
+def paper_accelerators() -> tuple[DeviceSpec, ...]:
+    """The five many-core accelerators of Table I, in the paper's order."""
+    return (hd7970(), xeon_phi_5110p(), gtx680(), k20(), gtx_titan())
+
+
+def all_devices() -> tuple[DeviceSpec, ...]:
+    """The accelerators plus the CPU baseline."""
+    return paper_accelerators() + (xeon_e5_2620(),)
+
+
+def device_by_name(name: str) -> DeviceSpec:
+    """Look a device up by (case-insensitive, punctuation-tolerant) name."""
+    def norm(s: str) -> str:
+        return "".join(ch for ch in s.lower() if ch.isalnum())
+
+    wanted = norm(name)
+    for device in all_devices():
+        if norm(device.name) == wanted:
+            return device
+    known = ", ".join(d.name for d in all_devices())
+    raise DeviceError(f"unknown device {name!r}; known devices: {known}")

@@ -1,0 +1,67 @@
+"""Compute ceiling: what fraction of peak the dedispersion loop can issue.
+
+The dedispersion inner loop is a chain of dependent adds fed by staged
+loads — no fused multiply-adds are possible, which alone caps the usable
+peak at 50% (paper Sec. VI).  On top of that each accumulated element costs
+issue slots beyond the FADD itself: the staged load and address arithmetic.
+Computing ``ed`` trial DMs per work-item amortises the load over ``ed``
+adds (the same staged sample feeds every DM accumulator), so heavier
+work-items issue more efficiently — one of the two reasons the tuner gives
+GK110 devices heavy work-items.
+
+The resulting ceiling is::
+
+    peak x 1/2 x issue_efficiency(arch) x ed / (ed + overhead_slots)
+
+with a device-specific ``issue_efficiency`` folding in compiler maturity
+and LDS/L1 access cost (see the catalogue docstrings for per-device
+calibration targets).
+"""
+
+from __future__ import annotations
+
+from repro.constants import NO_FMA_PEAK_FRACTION
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # avoid a runtime repro.core <-> repro.hardware cycle
+    from repro.core.config import KernelConfiguration
+from repro.hardware.device import DeviceSpec
+
+
+class ComputeModel:
+    """Per-device compute-throughput model."""
+
+    def __init__(self, device: DeviceSpec):
+        self.device = device
+
+    def amortization(self, config: KernelConfiguration) -> float:
+        """Issue-slot amortisation from sharing one load across ``ed`` adds."""
+        ed = config.elements_dm
+        return ed / (ed + self.device.issue_overhead_slots)
+
+    def oversize_factor(self, config: KernelConfiguration) -> float:
+        """Slowdown for work-groups beyond the device's preferred size.
+
+        Models the Xeon Phi OpenCL runtime's software work-item loop: a
+        work-group is executed as a loop over (vector-width-sized) chunks
+        with barrier bookkeeping whose cost grows with the work-group size.
+        Returns a multiplier >= 1 applied to compute time.
+        """
+        device = self.device
+        if device.preferred_wg_multiple <= 0 or device.oversize_penalty <= 0:
+            return 1.0
+        chunks = config.work_items_per_group / device.preferred_wg_multiple
+        if chunks <= 1.0:
+            return 1.0
+        return 1.0 + device.oversize_penalty * (chunks - 1.0)
+
+    def ceiling_flops(self, config: KernelConfiguration) -> float:
+        """Achievable FLOP/s for this configuration (before utilisation)."""
+        device = self.device
+        base = (
+            device.peak_flops
+            * NO_FMA_PEAK_FRACTION
+            * device.issue_efficiency
+            * self.amortization(config)
+        )
+        return base / self.oversize_factor(config)

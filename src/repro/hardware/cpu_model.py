@@ -1,0 +1,121 @@
+"""Analytic model of the paper's OpenMP + AVX CPU implementation.
+
+Sec. V-D describes the baseline: "parallelized using OpenMP, with different
+threads computing different DM values and blocks of time samples.  Chunks
+of 8 time samples are computed at once using Intel's Advanced Vector
+Extensions (AVX)."  We model it directly (no OpenCL work-group machinery):
+
+* every (thread, DM) pair streams its own input windows, so reuse happens
+  only through the shared last-level cache;
+* the inner loop is the same load+add chain, so the no-FMA factor and an
+  issue efficiency apply to the compute ceiling;
+* parallel efficiency saturates once there are at least as many (DM x
+  block) chunks as hardware threads.
+
+The CPU numbers feed the paper's Figs. 15-16 speedup plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.astro.dispersion import delay_table
+from repro.astro.dm_trials import DMTrialGrid
+from repro.astro.observation import ObservationSetup
+from repro.constants import BYTES_PER_SAMPLE, NO_FMA_PEAK_FRACTION
+from repro.hardware.catalog import xeon_e5_2620
+from repro.hardware.device import DeviceSpec
+from repro.utils.validation import require_positive_int
+
+
+@dataclass(frozen=True)
+class CPUMetrics:
+    """Simulated CPU execution summary."""
+
+    device_name: str
+    n_dms: int
+    samples: int
+    flops: float
+    seconds: float
+    bytes_total: float
+    parallel_efficiency: float
+
+    @property
+    def gflops(self) -> float:
+        """Achieved single-precision GFLOP/s."""
+        return self.flops / self.seconds / 1e9
+
+
+class CPUModel:
+    """Performance model of the OpenMP+AVX reference implementation."""
+
+    #: Time-block length each thread processes at once (8 AVX lanes x
+    #: a small unrolling factor).
+    BLOCK_SAMPLES: int = 64
+
+    def __init__(self, device: DeviceSpec | None = None):
+        self.device = device or xeon_e5_2620()
+
+    def simulate(
+        self,
+        setup: ObservationSetup,
+        grid: DMTrialGrid,
+        samples: int | None = None,
+    ) -> CPUMetrics:
+        """Simulate dedispersing one batch on the CPU."""
+        device = self.device
+        s = setup.samples_per_batch if samples is None else samples
+        require_positive_int(s, "samples")
+
+        flops = float(setup.total_flops(grid.n_dms, s))
+
+        # --- memory traffic: per-DM streaming with cache-level sharing ---
+        # Consecutive DMs read nearly identical windows; a window survives
+        # in the LLC across DMs when the per-channel working set fits the
+        # cache share of a core.
+        table = delay_table(setup, grid.values)
+        naive_bytes = grid.n_dms * s * setup.channels * BYTES_PER_SAMPLE
+        if grid.n_dms > 1:
+            spans = (table[-1] - table[0]).astype(np.float64)  # full-grid span
+            window = s + spans  # per-channel union window, elements
+            unique_bytes = float(np.sum(window)) * BYTES_PER_SAMPLE
+            footprint = window * BYTES_PER_SAMPLE
+            share = device.l2_cache_bytes / device.compute_units
+            quality = device.cache_quality * np.minimum(1.0, share / footprint)
+            per_channel_naive = grid.n_dms * s * BYTES_PER_SAMPLE
+            traffic = quality * np.minimum(window * BYTES_PER_SAMPLE,
+                                           per_channel_naive) \
+                + (1.0 - quality) * per_channel_naive
+            input_bytes = float(np.sum(traffic))
+            input_bytes = min(max(input_bytes, unique_bytes), naive_bytes)
+        else:
+            input_bytes = float(s * setup.channels * BYTES_PER_SAMPLE)
+        output_bytes = float(grid.n_dms * s * BYTES_PER_SAMPLE)
+        total_bytes = input_bytes + output_bytes
+
+        # --- parallel efficiency: enough chunks to feed every thread? ---
+        chunks = grid.n_dms * max(1, s // self.BLOCK_SAMPLES)
+        efficiency = min(1.0, chunks / (4 * device.compute_units))
+
+        t_mem = total_bytes / (
+            device.peak_bytes_per_second * device.memory_efficiency
+        )
+        ceiling = (
+            device.peak_flops
+            * NO_FMA_PEAK_FRACTION
+            * device.issue_efficiency
+            * efficiency
+        )
+        t_comp = flops / ceiling
+        seconds = max(t_mem, t_comp) + device.launch_overhead_s
+        return CPUMetrics(
+            device_name=device.name,
+            n_dms=grid.n_dms,
+            samples=s,
+            flops=flops,
+            seconds=seconds,
+            bytes_total=total_bytes,
+            parallel_efficiency=efficiency,
+        )

@@ -1,0 +1,190 @@
+"""Device specifications for the simulated many-core accelerators.
+
+Every quantity that the performance model consumes lives here, split into
+two groups:
+
+* **Published micro-architecture** — compute units, lanes, clock, peak
+  GFLOP/s and GB/s (the paper's Table I), register file, local memory,
+  occupancy limits, wavefront width, cache line, L2 size.  These are vendor
+  datasheet numbers.
+* **Calibrated efficiency parameters** — achievable fractions of the
+  datasheet peaks for a load-dominated, non-FMA kernel like dedispersion
+  (issue efficiency, memory efficiency, latency-hiding knee, ILP factor,
+  cache reuse quality, work-group overheads).  Their values are chosen once
+  per device so the *tuned end-to-end numbers* land in the ranges the paper
+  reports; EXPERIMENTS.md records the resulting paper-vs-model comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DeviceError
+from repro.utils.validation import (
+    require,
+    require_in_range,
+    require_positive,
+    require_positive_int,
+)
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A many-core accelerator (or CPU) as seen by the performance model."""
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    name: str
+    vendor: str
+    #: OpenCL device type tag: "gpu", "accelerator" (Phi) or "cpu".
+    device_type: str = "gpu"
+
+    # ------------------------------------------------------------------
+    # Published micro-architecture (Table I and vendor datasheets)
+    # ------------------------------------------------------------------
+    #: Compute units (AMD CUs / NVIDIA SMX / Phi or CPU cores).
+    compute_units: int = 1
+    #: Scalar lanes ("compute elements" in Table I) per compute unit.
+    lanes_per_cu: int = 1
+    #: Core clock in GHz (informational; peaks are stored explicitly).
+    clock_ghz: float = 1.0
+    #: Peak single-precision GFLOP/s (Table I).
+    peak_gflops: float = 1.0
+    #: Peak memory bandwidth in GB/s (Table I).
+    peak_bandwidth_gbs: float = 1.0
+
+    #: Maximum work-items per work-group the runtime accepts.
+    max_work_group_size: int = 256
+    #: SIMD execution width (AMD wavefront 64, NVIDIA warp 32, Phi 16).
+    wavefront: int = 32
+    #: Maximum resident work-items per compute unit.
+    max_work_items_per_cu: int = 2048
+    #: Maximum resident work-groups per compute unit.
+    max_work_groups_per_cu: int = 16
+    #: 32-bit registers available per compute unit.
+    registers_per_cu: int = 65536
+    #: Hard per-work-item register limit imposed by the ISA/compiler.
+    max_registers_per_item: int = 255
+    #: Local (shared) memory per compute unit, bytes.
+    local_memory_per_cu: int = 49152
+    #: Local memory a single work-group may allocate, bytes.
+    max_local_memory_per_wg: int = 49152
+    #: Whether "local" memory is emulated in ordinary cached memory
+    #: (true for the Xeon Phi's OpenCL and for CPUs), in which case
+    #: staging reuse goes through the cache model instead.
+    local_memory_is_emulated: bool = False
+    #: Cache line size in bytes (memory transaction granularity).
+    cache_line_bytes: int = 128
+    #: Last-level cache size in bytes (drives reuse when staging does not
+    #: fit in local memory).
+    l2_cache_bytes: int = 512 * 1024
+
+    # ------------------------------------------------------------------
+    # Calibrated efficiency parameters
+    # ------------------------------------------------------------------
+    #: Fraction of the non-FMA peak the architecture can issue for a
+    #: load+add inner loop, before the per-configuration accumulator
+    #: amortisation factor.  Folds in instruction mix, OpenCL compiler
+    #: maturity (low for the Phi's 2013 OpenCL) and LDS/L1 load cost.
+    issue_efficiency: float = 0.5
+    #: Extra issue slots per accumulated element beyond the FADD itself
+    #: (address arithmetic + the staged load).  The per-configuration
+    #: amortisation is ``ed / (ed + issue_overhead_slots)``.
+    issue_overhead_slots: float = 2.0
+    #: Fraction of peak DRAM bandwidth achievable by a streaming kernel.
+    memory_efficiency: float = 0.75
+    #: Occupancy at which memory latency is fully hidden.
+    occupancy_knee: float = 0.5
+    #: Instruction-level-parallelism credit: each extra element per
+    #: work-item contributes this fraction of a work-item towards the
+    #: effective occupancy (GK110 benefits most).
+    ilp_factor: float = 0.0
+    #: Quality of cache-based reuse when the staging window fits in this
+    #: device's L2 share (1 = as good as local memory).
+    cache_quality: float = 0.5
+    #: Fixed kernel launch overhead, seconds.
+    launch_overhead_s: float = 10e-6
+    #: Scheduling overhead per work-group, seconds.
+    wg_overhead_s: float = 0.2e-6
+    #: Optional override for the "CEs" column of Table I (the paper counts
+    #: the Xeon Phi as "2 x 60" — two pipelines per core — while the model
+    #: works with its 16 vector lanes).
+    table1_ces: str = ""
+    #: Work-group size whose multiple the device prefers; sizes above it
+    #: cost ``oversize_penalty`` of extra time per multiple (models the
+    #: Phi's software work-item loop and barrier cost).
+    preferred_wg_multiple: int = 0
+    oversize_penalty: float = 0.0
+
+    def __post_init__(self) -> None:
+        require(bool(self.name), "device name must be non-empty")
+        require(
+            self.device_type in ("gpu", "accelerator", "cpu"),
+            f"unknown device_type {self.device_type!r}",
+        )
+        require_positive_int(self.compute_units, "compute_units")
+        require_positive_int(self.lanes_per_cu, "lanes_per_cu")
+        require_positive(self.clock_ghz, "clock_ghz")
+        require_positive(self.peak_gflops, "peak_gflops")
+        require_positive(self.peak_bandwidth_gbs, "peak_bandwidth_gbs")
+        require_positive_int(self.max_work_group_size, "max_work_group_size")
+        require_positive_int(self.wavefront, "wavefront")
+        require_positive_int(self.max_work_items_per_cu, "max_work_items_per_cu")
+        require_positive_int(self.max_work_groups_per_cu, "max_work_groups_per_cu")
+        require_positive_int(self.registers_per_cu, "registers_per_cu")
+        require_positive_int(self.max_registers_per_item, "max_registers_per_item")
+        require_positive_int(self.local_memory_per_cu, "local_memory_per_cu")
+        require_positive_int(self.max_local_memory_per_wg, "max_local_memory_per_wg")
+        require_positive_int(self.cache_line_bytes, "cache_line_bytes")
+        require_positive_int(self.l2_cache_bytes, "l2_cache_bytes")
+        require_in_range(self.issue_efficiency, 0.0, 1.0, "issue_efficiency")
+        require_in_range(self.memory_efficiency, 0.0, 1.0, "memory_efficiency")
+        require_in_range(self.occupancy_knee, 0.01, 1.0, "occupancy_knee")
+        require_in_range(self.ilp_factor, 0.0, 1.0, "ilp_factor")
+        require_in_range(self.cache_quality, 0.0, 1.0, "cache_quality")
+        if self.max_work_group_size > self.max_work_items_per_cu:
+            raise DeviceError(
+                f"{self.name}: max work-group size exceeds resident work-items/CU"
+            )
+        if self.max_local_memory_per_wg > self.local_memory_per_cu:
+            raise DeviceError(
+                f"{self.name}: per-WG local memory exceeds per-CU local memory"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def compute_elements(self) -> int:
+        """Total compute elements (the "CEs" column of Table I)."""
+        return self.compute_units * self.lanes_per_cu
+
+    @property
+    def peak_bytes_per_second(self) -> float:
+        """Peak bandwidth in bytes/s."""
+        return self.peak_bandwidth_gbs * 1e9
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak single-precision FLOP/s."""
+        return self.peak_gflops * 1e9
+
+    @property
+    def machine_balance(self) -> float:
+        """Peak FLOP per byte — the roofline ridge point (Williams et al.)."""
+        return self.peak_flops / self.peak_bytes_per_second
+
+    @property
+    def cache_line_elements(self) -> int:
+        """Single-precision elements per cache line."""
+        return self.cache_line_bytes // 4
+
+    def table1_row(self) -> tuple[str, str, int, int]:
+        """(platform, CEs as "lanes x CUs", GFLOP/s, GB/s) — Table I."""
+        return (
+            self.name,
+            self.table1_ces or f"{self.lanes_per_cu} x {self.compute_units}",
+            int(round(self.peak_gflops)),
+            int(round(self.peak_bandwidth_gbs)),
+        )

@@ -1,0 +1,48 @@
+"""Latency hiding: mapping occupancy to achievable memory bandwidth.
+
+Many-core memory systems only deliver their peak bandwidth when enough
+independent requests are in flight.  We model the standard saturating
+behaviour: achieved bandwidth grows linearly with (effective) occupancy up
+to a per-device *knee* and is flat beyond it.  Devices that rely on massive
+multithreading (GK104) have a high knee; devices with fewer, beefier cores
+(Xeon Phi, CPUs) saturate almost immediately.
+
+A small floor keeps a single resident wavefront from being modelled as
+zero-bandwidth — even one work-item streams data, just slowly.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+
+#: Fraction of saturated bandwidth available at (near-)zero occupancy.
+MIN_HIDING_FLOOR: float = 0.05
+
+
+def latency_hiding_factor(effective_occupancy: float, knee: float) -> float:
+    """Fraction of the device's achievable bandwidth at this occupancy.
+
+    Piecewise-linear saturation: ``min(1, occupancy / knee)`` with a small
+    floor.  ``knee`` is the occupancy at which latency is fully hidden.
+    """
+    if not 0.0 <= effective_occupancy <= 1.0:
+        raise ValidationError(
+            f"effective_occupancy must be in [0, 1], got {effective_occupancy}"
+        )
+    if not 0.0 < knee <= 1.0:
+        raise ValidationError(f"knee must be in (0, 1], got {knee}")
+    return max(MIN_HIDING_FLOOR, min(1.0, effective_occupancy / knee))
+
+
+def utilization_factor(work_groups: int, compute_units: int, wgs_per_cu: int) -> float:
+    """Fraction of the device's compute units kept busy by the NDRange.
+
+    Small input instances expose too few work-groups to fill the device
+    (the paper's Figs. 6-7 show sub-linear performance at small DM counts).
+    ``wgs_per_cu`` is the residency from the occupancy calculator; full
+    utilisation requires every CU to hold its full complement.
+    """
+    if work_groups <= 0 or compute_units <= 0 or wgs_per_cu <= 0:
+        raise ValidationError("work_groups, compute_units, wgs_per_cu must be positive")
+    needed = compute_units * wgs_per_cu
+    return min(1.0, work_groups / needed)

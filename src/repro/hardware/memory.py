@@ -1,0 +1,263 @@
+"""Global-memory traffic model: coalescing, staging, and data-reuse.
+
+This module decides how many bytes a kernel configuration actually moves
+from device memory, which — dedispersion being memory-bound — is what
+ultimately determines performance.  Three effects are modelled:
+
+**Tile windows and reuse.**  A work-group computing ``tile_d`` DMs by
+``tile_t`` samples needs, per channel, the union of the per-DM input
+windows: ``tile_t + span`` samples, where ``span`` is the delay spread
+across the tile's DM range (:func:`repro.astro.dispersion.reuse_span_samples`).
+Without sharing, every DM row loads its own ``tile_t`` window
+(``tile_d * tile_t`` per channel).  The ideal read-reuse of a tile is
+therefore ``tile_d * tile_t / (tile_t + span)``.
+
+**Where reuse can happen.**
+
+* *Local-memory staging* — the generated kernel allocates a per-channel
+  staging buffer of ``tile_t + max_span`` elements at compile time (the
+  delay is linear in DM, so the span per channel is the same for every DM
+  tile).  When that allocation fits the device's per-work-group local
+  memory, every channel achieves its ideal reuse on-chip.
+* *Cache streaming* — when the allocation does not fit (or local memory is
+  emulated, as on the Xeon Phi), the ``tile_d`` DM rows sweep the window as
+  staggered streams separated by the *adjacent-DM delay increment*
+  ``delta = span / (tile_d - 1)``.  A cache line fetched by the leading
+  stream is reused by each trailing stream that reaches it before
+  eviction, so the achievable chain length is ``1 + share / (4 * delta)``
+  lines, where ``share`` is the work-group's slice of the last-level
+  cache.  This is why LOFAR (delta of hundreds of samples) still reaches a
+  few-fold reuse on GPUs while Apertif (sub-sample delta) is perfect, and
+  why the Phi's 30 MiB L2 narrows its gap precisely in the LOFAR setup.
+
+This mechanism reproduces the paper's central Sec. V-C observation: the
+0-DM grid (spans identically zero) restores perfect reuse on both setups.
+
+**Coalescing.**  Reads are coalesced but, because the delay function
+shifts them, not aligned; each work-group row pays up to one extra cache
+line, a factor-of-two worst case for wavefront-sized work-groups that
+larger work-groups amortise (Sec. III-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.astro.dispersion import delay_table
+from repro.astro.dm_trials import DMTrialGrid
+from repro.astro.observation import ObservationSetup
+from repro.constants import BYTES_PER_SAMPLE
+from repro.errors import ValidationError
+from repro.hardware.device import DeviceSpec
+
+if TYPE_CHECKING:  # avoid a runtime repro.core <-> repro.hardware cycle
+    from repro.core.config import KernelConfiguration
+
+
+@dataclass(frozen=True)
+class TrafficBreakdown:
+    """Bytes moved by one kernel invocation, split by stream."""
+
+    input_bytes: float
+    output_bytes: float
+    table_bytes: float
+    #: Input bytes a reuse-less kernel would have moved (for the reuse ratio).
+    naive_input_bytes: float
+    #: Average multiplicative read overhead from unaligned coalescing.
+    read_overhead: float
+    #: Whether the kernel stages windows in local memory (vs cache path).
+    staged: bool
+
+    @property
+    def total_bytes(self) -> float:
+        """All global-memory traffic."""
+        return self.input_bytes + self.output_bytes + self.table_bytes
+
+    @property
+    def reuse_factor(self) -> float:
+        """Achieved read-reuse: naive traffic over actual input traffic."""
+        if self.input_bytes <= 0:
+            return 1.0
+        return self.naive_input_bytes / self.input_bytes
+
+
+class MemoryModel:
+    """Traffic model for one (device, setup, DM grid) context.
+
+    The per-DM delay table is precomputed once and shared across the many
+    configurations a tuning sweep evaluates.
+    """
+
+    def __init__(
+        self,
+        device: DeviceSpec,
+        setup: ObservationSetup,
+        grid: DMTrialGrid,
+        enable_staging: bool = True,
+        enable_coalescing_overhead: bool = True,
+        input_sample_bytes: int = BYTES_PER_SAMPLE,
+    ):
+        #: Ablation switches: disable the local-memory staging path or the
+        #: unaligned-read overhead to quantify each mechanism's share of
+        #: the final numbers (see ``repro.experiments.ablation``).
+        self.enable_staging = enable_staging
+        self.enable_coalescing_overhead = enable_coalescing_overhead
+        #: Width of one input sample in global memory.  The paper assumes
+        #: 4 (single precision); real back-ends deliver 8-bit samples
+        #: (1 byte), which raises the Eq. 2 AI bound accordingly.  The
+        #: accumulators and the output stay float32 either way.
+        if input_sample_bytes not in (1, 2, 4):
+            raise ValidationError(
+                f"input_sample_bytes must be 1, 2 or 4, got {input_sample_bytes}"
+            )
+        self.input_sample_bytes = input_sample_bytes
+        self.device = device
+        self.setup = setup
+        self.grid = grid
+        self._table = delay_table(setup, grid.values)  # (n_dms, channels)
+
+    # ------------------------------------------------------------------
+    # Components
+    # ------------------------------------------------------------------
+    def read_overhead(self, config: KernelConfiguration) -> float:
+        """Unaligned-read coalescing overhead factor in [1, 2].
+
+        Each contiguous per-channel read of ``tile_t`` elements starts at a
+        delay-dependent, generally unaligned offset and therefore touches up
+        to one extra cache line (Sec. III-B's factor-two worst case for
+        wavefront-sized groups, amortised by longer rows).
+        """
+        if not self.enable_coalescing_overhead:
+            return 1.0
+        extra = self.device.cache_line_elements / config.tile_samples
+        return 1.0 + min(1.0, extra)
+
+    def channel_spans(self, config: KernelConfiguration) -> np.ndarray:
+        """Per-channel delay span (samples) across one DM tile, shape (c,).
+
+        The dispersion delay is linear in DM, so every tile of ``tile_d``
+        consecutive trials has (up to rounding) the same span; the first
+        tile's is used for all.
+        """
+        tile_d = config.tile_dms
+        n_dms = self.grid.n_dms
+        if n_dms % tile_d:
+            raise ValidationError(
+                f"grid of {n_dms} DMs is not tiled exactly by tile_dms={tile_d}"
+            )
+        return (self._table[tile_d - 1] - self._table[0]).astype(np.float64)
+
+    def staging_allocation(self, config: KernelConfiguration) -> tuple[bool, int]:
+        """(uses local staging?, local bytes per work-group).
+
+        The generated kernel stages windows in local memory only when the
+        compile-time worst-case window — ``tile_t`` plus the largest span
+        of any channel — fits the per-work-group local-memory limit.
+        Otherwise it reads through the cache hierarchy and allocates
+        nothing (Sec. III-B: work-items "either collaborate to load the
+        necessary elements from global to local memory ... or rely on the
+        cache, depending on the architecture").
+        """
+        if (
+            not self.enable_staging
+            or self.device.local_memory_is_emulated
+            or config.tile_dms == 1
+        ):
+            return False, 0
+        max_span = float(self.channel_spans(config).max(initial=0.0))
+        alloc = int(
+            (config.tile_samples + max_span) * self.input_sample_bytes
+        )
+        # The staged kernel needs at least two resident work-groups per CU
+        # to overlap the collaborative loads of one group with the
+        # accumulation of another; a single monopolising group would
+        # serialise staging and arithmetic.
+        budget = min(
+            self.device.max_local_memory_per_wg,
+            self.device.local_memory_per_cu // 2,
+        )
+        if alloc > budget:
+            return False, 0
+        return True, alloc
+
+    def cache_reuse(
+        self,
+        config: KernelConfiguration,
+        spans: np.ndarray,
+        wgs_per_cu: int,
+    ) -> np.ndarray:
+        """Per-channel reuse factor achieved through the cache hierarchy.
+
+        The DM rows of a tile sweep the input as streams staggered by
+        ``delta = span / (tile_d - 1)``; a fetched line serves the chain of
+        trailing streams that reach it while it is still resident in the
+        work-group's share of the last-level cache.
+        """
+        device = self.device
+        tile_d = config.tile_dms
+        tile_t = float(config.tile_samples)
+        ideal = tile_d * tile_t / np.minimum(tile_t + spans, tile_d * tile_t)
+        if tile_d == 1:
+            return np.ones_like(spans)
+        resident_wgs = max(wgs_per_cu, 1) * device.compute_units
+        share = device.l2_cache_bytes / resident_wgs
+        delta_bytes = spans * self.input_sample_bytes / (tile_d - 1)
+        chain = 1.0 + share / np.maximum(delta_bytes, float(device.cache_line_bytes))
+        achievable = np.minimum(ideal, chain)
+        return 1.0 + (achievable - 1.0) * device.cache_quality
+
+    # ------------------------------------------------------------------
+    # Main entry point
+    # ------------------------------------------------------------------
+    def traffic(
+        self,
+        config: KernelConfiguration,
+        samples: int,
+        wgs_per_cu: int = 1,
+    ) -> TrafficBreakdown:
+        """Traffic for dedispersing ``samples`` output samples on the grid."""
+        if samples % config.tile_samples:
+            raise ValidationError(
+                f"{samples} samples not tiled exactly by "
+                f"tile_samples={config.tile_samples}"
+            )
+        setup = self.setup
+        tile_t = float(config.tile_samples)
+        tile_d = float(config.tile_dms)
+        n_tiles_t = samples // config.tile_samples
+        n_tiles_d = self.grid.n_dms // config.tile_dms
+        overhead = self.read_overhead(config)
+
+        spans = self.channel_spans(config)  # (channels,)
+        naive = tile_d * tile_t  # per channel per work-group, elements
+        windows = np.minimum(tile_t + spans, naive)
+
+        staged, _alloc = self.staging_allocation(config)
+        if staged:
+            per_channel = windows  # full on-chip reuse
+        else:
+            reuse = self.cache_reuse(config, spans, wgs_per_cu)
+            per_channel = naive / reuse
+        input_elems = float(np.sum(per_channel)) * n_tiles_t * n_tiles_d
+        input_bytes = input_elems * self.input_sample_bytes * overhead
+        naive_bytes = (
+            naive * setup.channels * n_tiles_d * n_tiles_t
+            * self.input_sample_bytes * overhead
+        )
+
+        n_wgs = n_tiles_d * n_tiles_t
+        output_bytes = float(self.grid.n_dms * samples * BYTES_PER_SAMPLE)
+        table_bytes = float(
+            n_wgs * config.tile_dms * setup.channels * BYTES_PER_SAMPLE
+        ) * 0.01  # broadcast/cached
+        return TrafficBreakdown(
+            input_bytes=input_bytes,
+            output_bytes=output_bytes,
+            table_bytes=table_bytes,
+            naive_input_bytes=naive_bytes,
+            read_overhead=overhead,
+            staged=staged,
+        )

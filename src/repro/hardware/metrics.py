@@ -1,0 +1,72 @@
+"""Result record for one simulated kernel execution."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # avoid a runtime repro.core <-> repro.hardware cycle
+    from repro.core.config import KernelConfiguration
+
+
+class PerformanceBound(enum.Enum):
+    """Which ceiling determined the simulated execution time."""
+
+    MEMORY = "memory"
+    COMPUTE = "compute"
+    OVERHEAD = "overhead"
+
+
+@dataclass(frozen=True)
+class KernelMetrics:
+    """Everything the model knows about one kernel execution.
+
+    The tuner ranks configurations by :attr:`gflops`, "the number of single
+    precision floating point operations per second" (Sec. IV-A).
+    """
+
+    config: KernelConfiguration
+    device_name: str
+    n_dms: int
+    samples: int
+    flops: float
+    seconds: float
+    memory_seconds: float
+    compute_seconds: float
+    overhead_seconds: float
+    bytes_total: float
+    bytes_input: float
+    bytes_output: float
+    reuse_factor: float
+    #: Whether the kernel staged shared windows in local memory.
+    staged: bool
+    occupancy: float
+    effective_occupancy: float
+    utilization: float
+    bound: PerformanceBound
+
+    @property
+    def gflops(self) -> float:
+        """Achieved single-precision GFLOP/s."""
+        return self.flops / self.seconds / 1e9
+
+    @property
+    def bandwidth_gbs(self) -> float:
+        """Achieved global-memory bandwidth in GB/s."""
+        return self.bytes_total / self.seconds / 1e9
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Achieved FLOP per byte of global traffic."""
+        return self.flops / self.bytes_total
+
+    def summary(self) -> str:
+        """One-line report used by the CLI and examples."""
+        return (
+            f"{self.device_name}: {self.gflops:7.1f} GFLOP/s "
+            f"({self.bound.value}-bound, AI {self.arithmetic_intensity:.2f}, "
+            f"reuse {self.reuse_factor:.1f}x, occ {self.occupancy:.2f}) "
+            f"[{self.config.describe()}]"
+        )

@@ -1,0 +1,144 @@
+"""The end-to-end performance model: configuration -> simulated metrics.
+
+Combines the occupancy, memory, compute and latency components into an
+execution-time estimate::
+
+    t_mem     = bytes / (peak_bw x mem_eff x hiding(occupancy) x utilization)
+    t_comp    = flops / (compute_ceiling x utilization)
+    t_overhead= launch + work-groups x per-WG scheduling / CUs
+    t         = max(t_mem, t_comp) + t_overhead
+
+``max`` (rather than sum) models the overlap of computation with memory
+transfers that all five architectures achieve through multithreading; the
+recorded :class:`~repro.hardware.metrics.PerformanceBound` says which term
+won, reproducing the paper's memory-bound/compute-bound discussion.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.astro.dm_trials import DMTrialGrid
+from repro.astro.observation import ObservationSetup
+
+if TYPE_CHECKING:  # avoid a runtime repro.core <-> repro.hardware cycle
+    from repro.core.config import KernelConfiguration
+from repro.hardware.compute import ComputeModel
+from repro.hardware.device import DeviceSpec
+from repro.hardware.latency import latency_hiding_factor, utilization_factor
+from repro.hardware.memory import MemoryModel
+from repro.hardware.metrics import KernelMetrics, PerformanceBound
+from repro.hardware.occupancy import OccupancyCalculator
+
+
+class PerformanceModel:
+    """Simulates dedispersion kernels on one device for one setup and grid.
+
+    Instances cache the delay table (via :class:`MemoryModel`), so reuse one
+    model for all the configurations of a tuning sweep.
+    """
+
+    def __init__(
+        self,
+        device: DeviceSpec,
+        setup: ObservationSetup,
+        grid: DMTrialGrid,
+        enable_staging: bool = True,
+        enable_coalescing_overhead: bool = True,
+        input_sample_bytes: int = 4,
+    ):
+        self.device = device
+        self.setup = setup
+        self.grid = grid
+        self.memory = MemoryModel(
+            device,
+            setup,
+            grid,
+            enable_staging=enable_staging,
+            enable_coalescing_overhead=enable_coalescing_overhead,
+            input_sample_bytes=input_sample_bytes,
+        )
+        self.compute = ComputeModel(device)
+        self.occupancy = OccupancyCalculator(device)
+
+    def simulate(
+        self,
+        config: KernelConfiguration,
+        samples: int | None = None,
+        validate: bool = True,
+    ) -> KernelMetrics:
+        """Simulate one kernel execution; raises if ``config`` is invalid.
+
+        ``samples`` defaults to the setup's batch (one second of data).
+        With ``validate=False`` the meaningful-configuration check is
+        skipped (the tuner pre-filters, avoiding double work).
+        """
+        device, setup, grid = self.device, self.setup, self.grid
+        s = setup.samples_per_batch if samples is None else samples
+        if validate:
+            # Imported lazily: constraints live in repro.core, which imports
+            # this module in turn.
+            from repro.core.constraints import validate_configuration
+
+            validate_configuration(config, device, setup, grid, s)
+
+        staged, alloc_bytes = self.memory.staging_allocation(config)
+        width = self.memory.input_sample_bytes
+        occ = self.occupancy.calculate(
+            config,
+            staging_window=alloc_bytes // width if staged else 0,
+            sample_bytes=width,
+        )
+        traffic = self.memory.traffic(config, s, wgs_per_cu=occ.work_groups_per_cu)
+
+        n_wgs = config.work_groups(grid.n_dms, s)
+        util = utilization_factor(
+            n_wgs, device.compute_units, occ.work_groups_per_cu
+        )
+        hiding = latency_hiding_factor(
+            occ.effective_occupancy, device.occupancy_knee
+        )
+
+        flops = float(setup.total_flops(grid.n_dms, s))
+        bandwidth = (
+            device.peak_bytes_per_second
+            * device.memory_efficiency
+            * hiding
+            * util
+        )
+        t_mem = traffic.total_bytes / bandwidth
+        compute_ceiling = self.compute.ceiling_flops(config) * util
+        t_comp = flops / compute_ceiling
+        t_overhead = (
+            device.launch_overhead_s
+            + n_wgs * device.wg_overhead_s / device.compute_units
+        )
+        body = max(t_mem, t_comp)
+        total = body + t_overhead
+        if t_overhead > body:
+            bound = PerformanceBound.OVERHEAD
+        elif t_mem >= t_comp:
+            bound = PerformanceBound.MEMORY
+        else:
+            bound = PerformanceBound.COMPUTE
+
+        return KernelMetrics(
+            config=config,
+            device_name=device.name,
+            n_dms=grid.n_dms,
+            samples=s,
+            flops=flops,
+            seconds=total,
+            memory_seconds=t_mem,
+            compute_seconds=t_comp,
+            overhead_seconds=t_overhead,
+            bytes_total=traffic.total_bytes,
+            bytes_input=traffic.input_bytes,
+            bytes_output=traffic.output_bytes,
+            reuse_factor=traffic.reuse_factor,
+            staged=traffic.staged,
+            occupancy=occ.occupancy,
+            effective_occupancy=occ.effective_occupancy,
+            utilization=util,
+            bound=bound,
+        )

@@ -1,0 +1,129 @@
+"""Occupancy: how many work-groups a compute unit can keep resident.
+
+Occupancy is the primary lever for hiding memory latency on GPUs.  A
+work-group's residency is limited by four per-CU resources — work-item
+slots, work-group slots, registers, and local memory — exactly like the
+vendor occupancy calculators.  The result also carries an *effective*
+occupancy that credits instruction-level parallelism: a work-item holding
+``et*ed`` independent accumulators exposes more outstanding operations, so
+architectures with dual-issue capability (GK110) can trade occupancy for
+per-thread work, which is how the tuner ends up with the paper's
+"fewer work-items than the maximum, but with more work associated".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import BYTES_PER_SAMPLE
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # avoid a runtime repro.core <-> repro.hardware cycle
+    from repro.core.config import KernelConfiguration
+from repro.errors import ConfigurationError
+from repro.hardware.device import DeviceSpec
+
+#: Independent in-flight operations a single work-item can realistically
+#: sustain; accumulators beyond this window no longer add latency hiding.
+ILP_WINDOW: int = 8
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Residency outcome for one configuration on one device."""
+
+    work_groups_per_cu: int
+    resident_items_per_cu: int
+    occupancy: float
+    effective_occupancy: float
+    limited_by: str
+    local_memory_per_wg: int
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.occupancy <= 1.0:
+            raise ConfigurationError(
+                f"occupancy out of range: {self.occupancy}"
+            )
+
+
+class OccupancyCalculator:
+    """Computes :class:`OccupancyResult` for (device, configuration) pairs."""
+
+    def __init__(self, device: DeviceSpec):
+        self.device = device
+
+    def local_memory_bytes(
+        self,
+        config: KernelConfiguration,
+        staging_window: int,
+        sample_bytes: int = BYTES_PER_SAMPLE,
+    ) -> int:
+        """Local memory a work-group allocates to stage one channel window.
+
+        The kernel stages ``staging_window`` samples of ``sample_bytes``
+        each (float32 by default; raw telescope bytes when the kernel
+        consumes quantised input); devices with emulated local memory
+        allocate nothing (reuse goes through the cache model instead).
+        """
+        if self.device.local_memory_is_emulated:
+            return 0
+        return sample_bytes * max(staging_window, 0)
+
+    def calculate(
+        self,
+        config: KernelConfiguration,
+        staging_window: int = 0,
+        sample_bytes: int = BYTES_PER_SAMPLE,
+    ) -> OccupancyResult:
+        """Residency for ``config`` staging ``staging_window`` samples."""
+        device = self.device
+        items = config.work_items_per_group
+        if items > device.max_work_group_size:
+            raise ConfigurationError(
+                f"{items} work-items exceed {device.name}'s work-group "
+                f"limit of {device.max_work_group_size}"
+            )
+        if config.registers_per_item > device.max_registers_per_item:
+            raise ConfigurationError(
+                f"{config.registers_per_item} registers/work-item exceed "
+                f"{device.name}'s limit of {device.max_registers_per_item}"
+            )
+
+        lmem = self.local_memory_bytes(config, staging_window, sample_bytes)
+        if lmem > device.max_local_memory_per_wg:
+            raise ConfigurationError(
+                f"work-group needs {lmem} B local memory; "
+                f"{device.name} allows {device.max_local_memory_per_wg} B"
+            )
+
+        limits = {
+            "work-items": device.max_work_items_per_cu // items,
+            "work-groups": device.max_work_groups_per_cu,
+            "registers": device.registers_per_cu
+            // (items * config.registers_per_item),
+        }
+        if lmem > 0:
+            limits["local-memory"] = device.local_memory_per_cu // lmem
+        limited_by = min(limits, key=limits.__getitem__)
+        wgs = limits[limited_by]
+        if wgs < 1:
+            raise ConfigurationError(
+                f"configuration {config.describe()} cannot fit one "
+                f"work-group on a {device.name} CU (limited by {limited_by})"
+            )
+
+        resident = wgs * items
+        occupancy = resident / device.max_work_items_per_cu
+        # ILP credit: every accumulator beyond the first behaves like a
+        # fraction of an extra resident work-item for latency hiding, up to
+        # the architecture's in-flight window.
+        ilp_bonus = device.ilp_factor * min(config.accumulators - 1, ILP_WINDOW)
+        effective = min(1.0, occupancy * (1.0 + ilp_bonus))
+        return OccupancyResult(
+            work_groups_per_cu=wgs,
+            resident_items_per_cu=resident,
+            occupancy=occupancy,
+            effective_occupancy=effective,
+            limited_by=limited_by,
+            local_memory_per_wg=lmem,
+        )

@@ -1,0 +1,89 @@
+"""NDRange and work-group decomposition.
+
+OpenCL launches a kernel over a global index space (the NDRange) divided
+into work-groups.  For dedispersion the space is two-dimensional: dimension
+0 indexes time samples, dimension 1 indexes trial DMs (Sec. III-B's
+"two-dimensional work-groups").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ValidationError
+from repro.utils.validation import require_positive_int
+
+
+@dataclass(frozen=True)
+class WorkGroup:
+    """One work-group: its group indices and the tile it covers."""
+
+    group_time: int
+    group_dm: int
+    time_offset: int
+    dm_offset: int
+    tile_samples: int
+    tile_dms: int
+
+
+@dataclass(frozen=True)
+class NDRange:
+    """A 2-D global index space with a fixed work-group (tile) shape.
+
+    ``global_time`` / ``global_dm`` are expressed in *output elements*
+    (samples and DMs); ``tile_samples`` / ``tile_dms`` in elements per
+    work-group.  Both dimensions must tile exactly — the code generator
+    emits kernels without remainder handling, mirroring the paper.
+    """
+
+    global_time: int
+    global_dm: int
+    tile_samples: int
+    tile_dms: int
+
+    def __post_init__(self) -> None:
+        require_positive_int(self.global_time, "global_time")
+        require_positive_int(self.global_dm, "global_dm")
+        require_positive_int(self.tile_samples, "tile_samples")
+        require_positive_int(self.tile_dms, "tile_dms")
+        if self.global_time % self.tile_samples:
+            raise ValidationError(
+                f"global time size {self.global_time} not divisible by "
+                f"tile_samples {self.tile_samples}"
+            )
+        if self.global_dm % self.tile_dms:
+            raise ValidationError(
+                f"global DM size {self.global_dm} not divisible by "
+                f"tile_dms {self.tile_dms}"
+            )
+
+    @property
+    def groups_time(self) -> int:
+        """Work-groups along the time dimension."""
+        return self.global_time // self.tile_samples
+
+    @property
+    def groups_dm(self) -> int:
+        """Work-groups along the DM dimension."""
+        return self.global_dm // self.tile_dms
+
+    @property
+    def n_work_groups(self) -> int:
+        """Total work-groups in the launch."""
+        return self.groups_time * self.groups_dm
+
+    def work_groups(self) -> Iterator[WorkGroup]:
+        """Iterate work-groups in dispatch order (DM-major, like the paper:
+        work-groups sharing a DM tile are adjacent so their loads coalesce).
+        """
+        for gd in range(self.groups_dm):
+            for gt in range(self.groups_time):
+                yield WorkGroup(
+                    group_time=gt,
+                    group_dm=gd,
+                    time_offset=gt * self.tile_samples,
+                    dm_offset=gd * self.tile_dms,
+                    tile_samples=self.tile_samples,
+                    tile_dms=self.tile_dms,
+                )

@@ -1,0 +1,150 @@
+"""Mini OpenCL-like runtime objects: platform, device, context, queue.
+
+These mirror the OpenCL host API shape closely enough that the examples
+read like real OpenCL host code, while executing everything in NumPy.
+Buffers track residency so tests can assert that the pipeline keeps data
+on-device between kernels (the paper's "input is already available in the
+accelerator memory, and the output is kept on device", Sec. IV).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.hardware.device import DeviceSpec
+
+
+@dataclass(frozen=True)
+class SimDevice:
+    """A simulated OpenCL device wrapping a :class:`DeviceSpec`."""
+
+    spec: DeviceSpec
+
+    @property
+    def name(self) -> str:
+        """Device name, as ``clGetDeviceInfo(CL_DEVICE_NAME)`` would report."""
+        return self.spec.name
+
+    @property
+    def max_work_group_size(self) -> int:
+        """``CL_DEVICE_MAX_WORK_GROUP_SIZE``."""
+        return self.spec.max_work_group_size
+
+
+@dataclass(frozen=True)
+class SimPlatform:
+    """A simulated OpenCL platform (one per vendor)."""
+
+    name: str
+    devices: tuple[SimDevice, ...]
+
+    @classmethod
+    def discover(cls) -> tuple["SimPlatform", ...]:
+        """Enumerate platforms for every catalogued device, by vendor."""
+        from repro.hardware.catalog import all_devices
+
+        by_vendor: dict[str, list[SimDevice]] = {}
+        for spec in all_devices():
+            by_vendor.setdefault(spec.vendor, []).append(SimDevice(spec))
+        return tuple(
+            cls(name=vendor, devices=tuple(devs))
+            for vendor, devs in sorted(by_vendor.items())
+        )
+
+
+class Buffer:
+    """A device-resident array with host transfer accounting."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, context: "Context", shape: tuple[int, ...], dtype=np.float32):
+        self.context = context
+        self.array = np.zeros(shape, dtype=dtype)
+        self.id = next(self._ids)
+        self.host_transfers = 0
+
+    @property
+    def nbytes(self) -> int:
+        """Allocation size in bytes."""
+        return self.array.nbytes
+
+    def write(self, host_array: np.ndarray) -> None:
+        """Host -> device transfer (``clEnqueueWriteBuffer``)."""
+        if host_array.shape != self.array.shape:
+            raise ValidationError(
+                f"host array shape {host_array.shape} != buffer {self.array.shape}"
+            )
+        self.array[...] = host_array
+        self.host_transfers += 1
+
+    def read(self) -> np.ndarray:
+        """Device -> host transfer (``clEnqueueReadBuffer``); returns a copy."""
+        self.host_transfers += 1
+        return self.array.copy()
+
+
+@dataclass(frozen=True)
+class Event:
+    """Profiling event: wall-clock plus model-predicted execution time."""
+
+    label: str
+    wall_seconds: float
+    simulated_seconds: float | None = None
+
+
+class Context:
+    """Owns buffers for one device (``clCreateContext``)."""
+
+    def __init__(self, device: SimDevice):
+        self.device = device
+        self.buffers: list[Buffer] = []
+
+    def alloc(self, shape: tuple[int, ...], dtype=np.float32) -> Buffer:
+        """Allocate a device buffer."""
+        buf = Buffer(self, shape, dtype)
+        self.buffers.append(buf)
+        return buf
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Total bytes currently allocated on the device."""
+        return sum(b.nbytes for b in self.buffers)
+
+
+class CommandQueue:
+    """Executes kernels in order and records profiling events."""
+
+    def __init__(self, context: Context):
+        self.context = context
+        self.events: list[Event] = []
+
+    def enqueue(
+        self,
+        label: str,
+        fn: Callable[[], None],
+        simulated_seconds: float | None = None,
+    ) -> Event:
+        """Run ``fn`` now, recording an :class:`Event`."""
+        start = time.perf_counter()
+        fn()
+        event = Event(
+            label=label,
+            wall_seconds=time.perf_counter() - start,
+            simulated_seconds=simulated_seconds,
+        )
+        self.events.append(event)
+        return event
+
+    def finish(self) -> None:
+        """``clFinish`` — execution is synchronous, so this is a no-op."""
+
+    @property
+    def total_simulated_seconds(self) -> float:
+        """Sum of model-predicted times over all profiled kernels."""
+        return sum(e.simulated_seconds or 0.0 for e in self.events)

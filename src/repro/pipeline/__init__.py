@@ -1,0 +1,31 @@
+"""Real-time survey pipeline: streaming, multi-beam scheduling, sizing."""
+
+from repro.pipeline.streaming import StreamingDedispersion, ChunkResult
+from repro.pipeline.multibeam import BeamAssignment, MultiBeamScheduler
+from repro.pipeline.survey import SurveyPipeline, SurveyReport, BeamResult
+from repro.pipeline.fleet import FleetDevice, FleetPlan, plan_fleet
+from repro.pipeline.realtime import (
+    RealtimeReport,
+    realtime_report,
+    accelerators_needed,
+    apertif_deployment,
+    DeploymentPlan,
+)
+
+__all__ = [
+    "SurveyPipeline",
+    "SurveyReport",
+    "BeamResult",
+    "FleetDevice",
+    "FleetPlan",
+    "plan_fleet",
+    "StreamingDedispersion",
+    "ChunkResult",
+    "BeamAssignment",
+    "MultiBeamScheduler",
+    "RealtimeReport",
+    "realtime_report",
+    "accelerators_needed",
+    "apertif_deployment",
+    "DeploymentPlan",
+]

@@ -1,0 +1,150 @@
+"""Heterogeneous fleet planning: covering a survey with mixed devices.
+
+Sec. V-D sizes a homogeneous deployment (N copies of one accelerator).
+Real installations are heterogeneous — racks accumulate GPU generations —
+so this module generalises the sizing: given an inventory of device types
+(with counts and optional unit costs), pack the survey's beams onto the
+fewest-cost subset that sustains real time, using each device's tuned
+per-beam throughput and memory capacity from
+:class:`~repro.pipeline.multibeam.MultiBeamScheduler`.
+
+The packing is greedy by beams-per-cost (provably within one device of
+optimal for this divisible-beam formulation, since beams are identical
+and each device type contributes a fixed beam capacity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.astro.dm_trials import DMTrialGrid
+from repro.astro.observation import ObservationSetup
+from repro.errors import PipelineError
+from repro.hardware.device import DeviceSpec
+from repro.pipeline.multibeam import DEFAULT_DEVICE_MEMORY, MultiBeamScheduler
+from repro.utils.validation import require_positive, require_positive_int
+
+
+@dataclass(frozen=True)
+class FleetDevice:
+    """One device type available to the fleet."""
+
+    device: DeviceSpec
+    available: int
+    unit_cost: float = 1.0
+    memory_bytes: int = DEFAULT_DEVICE_MEMORY
+
+    def __post_init__(self) -> None:
+        require_positive_int(self.available, "available")
+        require_positive(self.unit_cost, "unit_cost")
+
+
+@dataclass(frozen=True)
+class FleetAssignment:
+    """How many units of one device type the plan uses."""
+
+    device_name: str
+    units: int
+    beams_per_unit: int
+    beams_total: int
+    cost: float
+
+
+@dataclass(frozen=True)
+class FleetPlan:
+    """A complete fleet covering the survey."""
+
+    setup_name: str
+    n_dms: int
+    n_beams: int
+    assignments: tuple[FleetAssignment, ...]
+
+    @property
+    def total_cost(self) -> float:
+        """Summed unit costs of the selected devices."""
+        return sum(a.cost for a in self.assignments)
+
+    @property
+    def total_units(self) -> int:
+        """Devices used across all types."""
+        return sum(a.units for a in self.assignments)
+
+    @property
+    def beams_covered(self) -> int:
+        """Beams hosted (>= n_beams when the plan is feasible)."""
+        return sum(a.beams_total for a in self.assignments)
+
+    def summary(self) -> str:
+        """Human-readable plan."""
+        lines = [
+            f"fleet for {self.setup_name}, {self.n_dms} DMs x "
+            f"{self.n_beams} beams (cost {self.total_cost:g}, "
+            f"{self.total_units} devices):"
+        ]
+        for a in self.assignments:
+            lines.append(
+                f"  {a.units} x {a.device_name} "
+                f"({a.beams_per_unit} beams each -> {a.beams_total})"
+            )
+        return "\n".join(lines)
+
+
+def plan_fleet(
+    inventory: list[FleetDevice] | tuple[FleetDevice, ...],
+    setup: ObservationSetup,
+    grid: DMTrialGrid,
+    n_beams: int,
+) -> FleetPlan:
+    """Select the cheapest device mix that hosts ``n_beams`` in real time.
+
+    Device types that cannot sustain even one beam in real time are
+    skipped; raises :class:`PipelineError` when the whole inventory cannot
+    cover the survey.
+    """
+    require_positive_int(n_beams, "n_beams")
+    if not inventory:
+        raise PipelineError("fleet inventory is empty")
+
+    capacities: list[tuple[float, FleetDevice, int]] = []
+    for entry in inventory:
+        scheduler = MultiBeamScheduler(
+            entry.device, setup, grid, device_memory_bytes=entry.memory_bytes
+        )
+        try:
+            per_unit = scheduler.assign(n_beams).beams_per_device
+        except PipelineError:
+            continue  # cannot host a single beam in real time
+        efficiency = per_unit / entry.unit_cost
+        capacities.append((efficiency, entry, per_unit))
+
+    capacities.sort(key=lambda item: -item[0])
+    remaining = n_beams
+    assignments: list[FleetAssignment] = []
+    for _, entry, per_unit in capacities:
+        if remaining <= 0:
+            break
+        needed = -(-remaining // per_unit)  # ceil
+        units = min(needed, entry.available)
+        if units == 0:
+            continue
+        hosted = min(units * per_unit, remaining + per_unit - 1)
+        assignments.append(
+            FleetAssignment(
+                device_name=entry.device.name,
+                units=units,
+                beams_per_unit=per_unit,
+                beams_total=units * per_unit,
+                cost=units * entry.unit_cost,
+            )
+        )
+        remaining -= units * per_unit
+    if remaining > 0:
+        raise PipelineError(
+            f"inventory covers only {n_beams - remaining} of {n_beams} beams"
+        )
+    return FleetPlan(
+        setup_name=setup.name,
+        n_dms=grid.n_dms,
+        n_beams=n_beams,
+        assignments=tuple(assignments),
+    )

@@ -1,0 +1,49 @@
+"""Shared utility helpers: validation, integer math, units, tables."""
+
+from repro.utils.validation import (
+    require,
+    require_positive,
+    require_positive_int,
+    require_non_negative,
+    require_in_range,
+)
+from repro.utils.intmath import (
+    ceil_div,
+    divisors,
+    is_power_of_two,
+    next_power_of_two,
+    powers_of_two,
+    round_up,
+)
+from repro.utils.units import (
+    GIGA,
+    MEGA,
+    KIBI,
+    MEBI,
+    gflops,
+    gibibytes,
+    mhz_to_hz,
+    seconds_to_ms,
+)
+
+__all__ = [
+    "require",
+    "require_positive",
+    "require_positive_int",
+    "require_non_negative",
+    "require_in_range",
+    "ceil_div",
+    "divisors",
+    "is_power_of_two",
+    "next_power_of_two",
+    "powers_of_two",
+    "round_up",
+    "GIGA",
+    "MEGA",
+    "KIBI",
+    "MEBI",
+    "gflops",
+    "gibibytes",
+    "mhz_to_hz",
+    "seconds_to_ms",
+]

@@ -1,0 +1,36 @@
+"""Unit conversion helpers.
+
+Throughout the library, raw model quantities are kept in SI base units
+(seconds, bytes, Hz, FLOP) and converted only at reporting boundaries.
+"""
+
+from __future__ import annotations
+
+GIGA: float = 1e9
+MEGA: float = 1e6
+KILO: float = 1e3
+
+KIBI: int = 1024
+MEBI: int = 1024 * 1024
+
+
+def gflops(flops: float, seconds: float) -> float:
+    """Single-precision GFLOP/s given raw FLOP count and elapsed seconds."""
+    if seconds <= 0:
+        raise ZeroDivisionError("elapsed time must be positive")
+    return flops / seconds / GIGA
+
+
+def gibibytes(num_bytes: float) -> float:
+    """Bytes to GiB."""
+    return num_bytes / (1024.0 ** 3)
+
+
+def mhz_to_hz(mhz: float) -> float:
+    """MHz to Hz."""
+    return mhz * MEGA
+
+
+def seconds_to_ms(seconds: float) -> float:
+    """Seconds to milliseconds."""
+    return seconds * KILO

@@ -1,0 +1,83 @@
+"""Unit tests for repro.analysis.portability."""
+
+import pytest
+
+from repro.analysis.portability import (
+    performance_portability,
+    portability_report,
+)
+from repro.astro.observation import apertif
+from repro.core.tuner import AutoTuner
+from repro.errors import ValidationError
+from repro.hardware.catalog import gtx680, hd7970
+
+
+class TestMetric:
+    def test_perfect_everywhere(self):
+        assert performance_portability([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_harmonic_mean(self):
+        # Harmonic mean of 1 and 1/3 is 1/2.
+        assert performance_portability([1.0, 1 / 3]) == pytest.approx(0.5)
+
+    def test_zero_if_any_unsupported(self):
+        assert performance_portability([1.0, 0.0, 0.9]) == 0.0
+
+    def test_dominated_by_worst_platform(self):
+        assert performance_portability([1.0, 1.0, 0.1]) < 0.3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            performance_portability([])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValidationError):
+            performance_portability([1.5])
+
+
+class TestReport:
+    INSTANCES = (2, 16, 64)
+    N_DMS = 64
+
+    @pytest.fixture(scope="class")
+    def sweeps(self):
+        setup = apertif()
+        return {
+            device.name: AutoTuner(device, setup).tune_instances(self.INSTANCES)
+            for device in (hd7970(), gtx680())
+        }
+
+    def test_tuned_is_calibration_point(self, sweeps):
+        report = portability_report(sweeps, self.N_DMS)
+        assert report.pp_tuned == 1.0
+
+    def test_strategy_ordering(self, sweeps):
+        # tuned >= fixed-per-platform >= single-configuration: each
+        # strategy adds constraints.
+        report = portability_report(sweeps, self.N_DMS)
+        assert (
+            report.pp_tuned
+            >= report.pp_fixed_per_platform
+            >= report.pp_single_configuration
+        )
+        assert report.pp_fixed_per_platform < 1.0
+
+    def test_single_configuration_runs_everywhere(self, sweeps):
+        report = portability_report(sweeps, self.N_DMS)
+        config = report.single_configuration
+        assert config is not None
+        for per_instance in sweeps.values():
+            for result in per_instance.values():
+                assert result.find(config) is not None
+
+    def test_summary_readable(self, sweeps):
+        text = portability_report(sweeps, self.N_DMS).summary()
+        assert "PP tuned 1.00" in text
+
+    def test_missing_instance_rejected(self, sweeps):
+        with pytest.raises(ValidationError, match="no sweep"):
+            portability_report(sweeps, 999)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            portability_report({}, 64)

@@ -1,0 +1,140 @@
+"""Unit tests for repro.analysis.reporting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import (
+    format_histogram,
+    format_series,
+    format_table,
+)
+from repro.errors import ValidationError
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(
+            ("Platform", "GB/s"), (("HD7970", 264), ("K20", 208))
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("Platform")
+        assert "---" in lines[1]
+        assert "HD7970" in lines[2]
+
+    def test_title_prepended(self):
+        text = format_table(("a",), (("1",),), title="Table I")
+        assert text.splitlines()[0] == "Table I"
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValidationError):
+            format_table(("a", "b"), (("1",),))
+
+    def test_rejects_empty_headers(self):
+        with pytest.raises(ValidationError):
+            format_table((), ())
+
+    def test_empty_rows_ok(self):
+        assert "a" in format_table(("a",), ())
+
+
+class TestFormatSeries:
+    def test_one_column_per_series(self):
+        text = format_series(
+            "DMs",
+            [2, 4],
+            {"HD7970": [10.0, 20.0], "K20": [5.0, 8.0]},
+        )
+        header = text.splitlines()[0]
+        assert "DMs" in header and "HD7970" in header and "K20" in header
+        assert "20.0" in text
+
+    def test_precision(self):
+        text = format_series("x", [1], {"s": [1.23456]}, precision=3)
+        assert "1.235" in text
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            format_series("x", [1, 2], {"s": [1.0]})
+
+
+class TestFormatHistogram:
+    def test_bars_scale(self):
+        counts = np.array([1, 10])
+        edges = np.array([0.0, 1.0, 2.0])
+        text = format_histogram(counts, edges, width=10)
+        lines = text.splitlines()
+        assert lines[1].count("#") == 10
+        assert 1 <= lines[0].count("#") <= 2
+
+    def test_zero_count_no_bar(self):
+        text = format_histogram(np.array([0, 5]), np.array([0.0, 1.0, 2.0]))
+        assert "|" in text.splitlines()[0]
+        assert "#" not in text.splitlines()[0]
+
+    def test_rejects_mismatched_edges(self):
+        with pytest.raises(ValidationError):
+            format_histogram(np.array([1, 2]), np.array([0.0, 1.0]))
+
+
+class TestFormatLineplot:
+    def _series(self):
+        from repro.analysis.reporting import format_lineplot
+
+        return format_lineplot(
+            "DMs",
+            [2, 4, 8],
+            {"A": [1.0, 2.0, 4.0], "B": [0.5, 0.5, 0.5]},
+            title="test plot",
+            height=8,
+            width=24,
+        )
+
+    def test_contains_title_axis_and_legend(self):
+        text = self._series()
+        assert "test plot" in text
+        assert "(DMs)" in text
+        assert "o=A" in text and "x=B" in text
+
+    def test_peak_on_top_row(self):
+        text = self._series()
+        rows = text.splitlines()[1:9]
+        assert "o" in rows[0]  # the 4.0 point sits on the top row
+
+    def test_rejects_empty_series(self):
+        from repro.analysis.reporting import format_lineplot
+
+        with pytest.raises(ValidationError):
+            format_lineplot("x", [1], {})
+
+    def test_rejects_mismatched_lengths(self):
+        from repro.analysis.reporting import format_lineplot
+
+        with pytest.raises(ValidationError):
+            format_lineplot("x", [1, 2], {"A": [1.0]})
+
+    def test_rejects_tiny_canvas(self):
+        from repro.analysis.reporting import format_lineplot
+
+        with pytest.raises(ValidationError):
+            format_lineplot("x", [1], {"A": [1.0]}, height=1)
+
+    def test_experiment_render_plot(self):
+        from repro.experiments.base import ExperimentResult
+
+        result = ExperimentResult(
+            experiment_id="figX",
+            title="t",
+            x_label="DMs",
+            x_values=(2, 4),
+            series={"A": (1.0, 2.0)},
+        )
+        assert "o=A" in result.render_plot(height=4, width=16)
+
+    def test_table_experiment_has_no_plot(self):
+        from repro.experiments.base import ExperimentResult
+
+        result = ExperimentResult(
+            experiment_id="tableX", title="t", headers=("a",), rows=(("1",),)
+        )
+        with pytest.raises(ValueError):
+            result.render_plot()

@@ -1,0 +1,59 @@
+"""Unit tests for repro.analysis.roofline."""
+
+import pytest
+
+from repro.astro.dm_trials import DMTrialGrid
+from repro.astro.observation import apertif, lofar
+from repro.core.config import KernelConfiguration
+from repro.errors import ValidationError
+from repro.hardware.catalog import hd7970
+from repro.hardware.model import PerformanceModel
+from repro.analysis.roofline import roofline_gflops, roofline_point
+
+
+class TestRooflineGflops:
+    def test_memory_slope(self):
+        device = hd7970()  # ridge at 3788/264 ~ 14.3
+        assert roofline_gflops(device, 1.0) == pytest.approx(264.0)
+
+    def test_compute_plateau(self):
+        assert roofline_gflops(hd7970(), 100.0) == pytest.approx(3788.0)
+
+    def test_ridge_continuity(self):
+        device = hd7970()
+        at_ridge = roofline_gflops(device, device.machine_balance)
+        assert at_ridge == pytest.approx(device.peak_gflops)
+
+    def test_rejects_bad_ai(self):
+        with pytest.raises(ValidationError):
+            roofline_gflops(hd7970(), 0.0)
+
+
+class TestRooflinePoint:
+    @pytest.fixture(scope="class")
+    def lofar_point(self):
+        model = PerformanceModel(hd7970(), lofar(), DMTrialGrid(256))
+        metrics = model.simulate(
+            KernelConfiguration(250, 1, 25, 2), validate=False
+        )
+        return roofline_point(hd7970(), metrics)
+
+    def test_lofar_in_memory_region(self, lofar_point):
+        # Dedispersion's AI < 1 sits far left of the ~14 FLOP/byte ridge.
+        assert lofar_point.memory_bound
+        assert lofar_point.arithmetic_intensity < 2.0
+
+    def test_achieved_below_roof(self, lofar_point):
+        assert 0 < lofar_point.roof_fraction <= 1.0
+
+    def test_summary_text(self, lofar_point):
+        text = lofar_point.summary()
+        assert "HD7970" in text and "memory" in text
+
+    def test_apertif_tuned_kernel_higher_ai(self):
+        model = PerformanceModel(hd7970(), apertif(), DMTrialGrid(256))
+        metrics = model.simulate(
+            KernelConfiguration(32, 8, 25, 4), validate=False
+        )
+        point = roofline_point(hd7970(), metrics)
+        assert point.arithmetic_intensity > 2.0

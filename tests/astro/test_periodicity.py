@@ -1,0 +1,146 @@
+"""Unit tests for repro.astro.periodicity."""
+
+import numpy as np
+import pytest
+
+from repro.astro.periodicity import (
+    harmonic_sum,
+    power_spectrum,
+    search_periodicity,
+    spectrum_sigma,
+)
+from repro.errors import ValidationError
+
+
+def pulse_train(rng, n=4096, fs=1024, period=0.125, width=3, amp=2.0):
+    """Noisy time series with a narrow periodic pulse."""
+    series = rng.normal(size=n)
+    step = int(round(period * fs))
+    for start in range(10, n - width, step):
+        series[start : start + width] += amp
+    return series
+
+
+class TestPowerSpectrum:
+    def test_white_noise_unit_mean(self, rng):
+        spectrum = power_spectrum(rng.normal(size=65536))
+        assert float(spectrum.mean()) == pytest.approx(1.0, rel=0.05)
+
+    def test_sine_peaks_at_its_frequency(self, rng):
+        fs, f0, n = 1024, 32.0, 8192
+        t = np.arange(n) / fs
+        series = np.sin(2 * np.pi * f0 * t) + 0.1 * rng.normal(size=n)
+        spectrum = power_spectrum(series)
+        freqs = np.fft.rfftfreq(n, 1 / fs)[1:]
+        assert abs(freqs[int(np.argmax(spectrum))] - f0) < 0.2
+
+    def test_dc_removed(self):
+        spectrum = power_spectrum(np.ones(1024) * 7.0)
+        assert np.all(spectrum == 0.0)
+
+    def test_rejects_short(self):
+        with pytest.raises(ValidationError):
+            power_spectrum(np.ones(3))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            power_spectrum(np.ones((4, 4)))
+
+
+class TestHarmonicSum:
+    def test_single_harmonic_is_identity(self, rng):
+        spectrum = rng.exponential(size=256)
+        np.testing.assert_allclose(harmonic_sum(spectrum, 1), spectrum)
+
+    def test_sums_known_harmonics(self):
+        spectrum = np.zeros(64)
+        spectrum[9] = 4.0   # fundamental at bin index 9 (k=10)
+        spectrum[19] = 3.0  # 2nd harmonic (k=20)
+        summed = harmonic_sum(spectrum, 2)
+        assert summed[9] == pytest.approx(7.0)
+
+    def test_narrow_pulse_gains_from_harmonics(self, rng):
+        series = pulse_train(rng)
+        spectrum = power_spectrum(series)
+        s1 = spectrum_sigma(harmonic_sum(spectrum, 1), 1).max()
+        s8 = spectrum_sigma(harmonic_sum(spectrum, 8), 8).max()
+        assert s8 > s1
+
+    def test_partial_sums_not_inflated(self):
+        spectrum = np.ones(16)
+        summed = harmonic_sum(spectrum, 4)
+        # The last bin only has its fundamental; it is NOT rescaled (that
+        # would fabricate significance) — the search skips such bins.
+        assert summed[-1] == pytest.approx(1.0)
+
+    def test_fully_summed_region(self):
+        from repro.astro.periodicity import fully_summed_bins
+
+        assert fully_summed_bins(64, 4) == 16
+        assert fully_summed_bins(64, 1) == 64
+
+    def test_rejects_bad_harmonics(self):
+        with pytest.raises(ValidationError):
+            harmonic_sum(np.ones(8), 0)
+
+
+class TestSpectrumSigma:
+    def test_mean_zero_for_noise(self, rng):
+        spectrum = rng.exponential(size=100_000)
+        sigmas = spectrum_sigma(spectrum, 1)
+        assert abs(float(sigmas.mean())) < 0.05
+
+    def test_scales_with_excess(self):
+        assert spectrum_sigma(np.array([17.0]), 16)[0] == pytest.approx(0.25)
+
+
+class TestSearch:
+    def test_finds_pulsar_at_right_dm_and_period(self, rng):
+        fs, period = 1024, 0.125
+        n_dms, n = 8, 8192
+        dedispersed = rng.normal(size=(n_dms, n))
+        dedispersed[5] = pulse_train(rng, n=n, fs=fs, period=period)
+        dms = np.arange(n_dms) * 0.5
+        candidates = search_periodicity(dedispersed, dms, fs)
+        assert candidates, "no candidates found"
+        best = candidates[0]
+        assert best.dm_index == 5
+        fundamental = 1.0 / period
+        # Accept the fundamental or a low harmonic of it.
+        ratio = best.frequency_hz / fundamental
+        assert abs(ratio - round(ratio)) < 0.05
+        assert best.sigma > 5.0
+
+    def test_noise_yields_no_candidates_at_high_threshold(self, rng):
+        dedispersed = rng.normal(size=(4, 4096))
+        candidates = search_periodicity(
+            dedispersed, np.arange(4.0), 1024, sigma_threshold=12.0
+        )
+        assert candidates == []
+
+    def test_candidates_sorted_by_sigma(self, rng):
+        fs = 1024
+        dedispersed = rng.normal(size=(4, 8192))
+        dedispersed[1] = pulse_train(rng, n=8192, fs=fs, amp=1.0)
+        dedispersed[2] = pulse_train(rng, n=8192, fs=fs, amp=3.0)
+        candidates = search_periodicity(
+            dedispersed, np.arange(4.0), fs, sigma_threshold=3.0
+        )
+        sigmas = [c.sigma for c in candidates]
+        assert sigmas == sorted(sigmas, reverse=True)
+
+    def test_min_frequency_excludes_red_noise(self, rng):
+        # A slow drift (below min_frequency) must not become a candidate.
+        n, fs = 8192, 1024
+        drift = np.sin(2 * np.pi * 0.1 * np.arange(n) / fs) * 5.0
+        dedispersed = (drift + rng.normal(size=n)).reshape(1, n)
+        candidates = search_periodicity(
+            dedispersed, np.array([0.0]), fs,
+            min_frequency_hz=1.0, sigma_threshold=5.0,
+        )
+        for c in candidates:
+            assert c.frequency_hz >= 1.0
+
+    def test_rejects_mismatched_dms(self, rng):
+        with pytest.raises(ValidationError):
+            search_periodicity(rng.normal(size=(3, 512)), np.arange(2.0), 100)

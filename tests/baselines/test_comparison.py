@@ -1,0 +1,37 @@
+"""Unit tests for repro.baselines.comparison."""
+
+import pytest
+
+from repro.baselines.comparison import SpeedupSeries, speedup_series
+from repro.errors import ValidationError
+
+
+class TestSpeedupSeries:
+    def test_elementwise_ratio(self):
+        series = speedup_series(
+            "gpu", "cpu", {2: 100.0, 4: 200.0}, {2: 10.0, 4: 20.0}
+        )
+        assert series.speedups == {2: 10.0, 4: 10.0}
+
+    def test_only_shared_instances(self):
+        series = speedup_series(
+            "gpu", "cpu", {2: 100.0, 8: 50.0}, {2: 10.0, 4: 20.0}
+        )
+        assert set(series.speedups) == {2}
+
+    def test_mean_and_max(self):
+        series = SpeedupSeries("a", "b", {1: 2.0, 2: 4.0})
+        assert series.mean == pytest.approx(3.0)
+        assert series.max == pytest.approx(4.0)
+
+    def test_mean_skips_infinite(self):
+        series = SpeedupSeries("a", "b", {1: 2.0, 2: float("inf")})
+        assert series.mean == pytest.approx(2.0)
+
+    def test_no_shared_instances_raises(self):
+        with pytest.raises(ValidationError):
+            speedup_series("a", "b", {1: 1.0}, {2: 1.0})
+
+    def test_zero_baseline_raises(self):
+        with pytest.raises(ValidationError):
+            speedup_series("a", "b", {1: 1.0}, {1: 0.0})

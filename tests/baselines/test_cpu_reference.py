@@ -1,0 +1,108 @@
+"""Unit tests for repro.baselines.cpu_reference — the Algorithm 1 oracles."""
+
+import numpy as np
+import pytest
+
+from repro.astro.dm_trials import DMTrialGrid
+from repro.astro.observation import ObservationSetup
+from repro.baselines.cpu_reference import (
+    dedisperse_blocked,
+    dedisperse_naive,
+    dedisperse_vectorized,
+)
+from repro.errors import ValidationError
+from tests.conftest import make_input
+
+
+@pytest.fixture
+def tiny_setup() -> ObservationSetup:
+    """Small enough for the triple-loop naive implementation."""
+    return ObservationSetup(
+        name="tiny",
+        channels=8,
+        lowest_frequency=140.0,
+        channel_bandwidth=0.5,
+        samples_per_second=100,
+        samples_per_batch=100,
+    )
+
+
+@pytest.fixture
+def tiny_grid() -> DMTrialGrid:
+    return DMTrialGrid(n_dms=4, step=0.5)
+
+
+class TestAgreement:
+    def test_vectorized_matches_naive(self, tiny_setup, tiny_grid, rng):
+        data = make_input(tiny_setup, tiny_grid, rng)
+        naive = dedisperse_naive(data, tiny_setup, tiny_grid, 100)
+        vectorized = dedisperse_vectorized(data, tiny_setup, tiny_grid, 100)
+        np.testing.assert_allclose(naive, vectorized, rtol=1e-5)
+
+    def test_blocked_matches_vectorized(self, tiny_setup, tiny_grid, rng):
+        data = make_input(tiny_setup, tiny_grid, rng)
+        blocked = dedisperse_blocked(
+            data, tiny_setup, tiny_grid, 100, block_samples=32
+        )
+        vectorized = dedisperse_vectorized(data, tiny_setup, tiny_grid, 100)
+        np.testing.assert_allclose(blocked, vectorized, rtol=1e-5)
+
+    def test_blocked_any_block_size(self, tiny_setup, tiny_grid, rng):
+        data = make_input(tiny_setup, tiny_grid, rng)
+        reference = dedisperse_vectorized(data, tiny_setup, tiny_grid, 100)
+        for block in (1, 7, 100, 1000):
+            out = dedisperse_blocked(
+                data, tiny_setup, tiny_grid, 100, block_samples=block
+            )
+            np.testing.assert_allclose(out, reference, rtol=1e-5)
+
+
+class TestSemantics:
+    def test_zero_dm_row_is_channel_sum(self, tiny_setup, tiny_grid, rng):
+        data = make_input(tiny_setup, tiny_grid, rng)
+        out = dedisperse_vectorized(data, tiny_setup, tiny_grid, 100)
+        expected = data[:, :100].sum(axis=0)
+        np.testing.assert_allclose(out[0], expected, rtol=1e-5)
+
+    def test_output_shape_dtype(self, tiny_setup, tiny_grid, rng):
+        data = make_input(tiny_setup, tiny_grid, rng)
+        out = dedisperse_vectorized(data, tiny_setup, tiny_grid, 100)
+        assert out.shape == (4, 100)
+        assert out.dtype == np.float32
+
+    def test_dedispersion_realigns_dispersed_impulse(self, tiny_setup):
+        # Put a dispersed impulse at the exact delays of DM trial 2; after
+        # dedispersion, trial 2 holds a sharp spike of height = channels.
+        from repro.astro.dispersion import delay_table
+
+        grid = DMTrialGrid(n_dms=4, step=2.0)
+        table = delay_table(tiny_setup, grid.values)
+        t_total = 100 + int(table.max())
+        data = np.zeros((tiny_setup.channels, t_total), dtype=np.float32)
+        spike_at = 10
+        for ch in range(tiny_setup.channels):
+            data[ch, spike_at + table[2, ch]] = 1.0
+        out = dedisperse_vectorized(data, tiny_setup, grid, 100)
+        assert out[2, spike_at] == pytest.approx(tiny_setup.channels)
+        assert out[2].max() == out[2, spike_at]
+        # Other trials recover less than the aligned one.
+        assert out[0].max() < out[2, spike_at]
+
+
+class TestValidation:
+    def test_rejects_short_input(self, tiny_setup, tiny_grid, rng):
+        data = rng.normal(size=(8, 50)).astype(np.float32)
+        with pytest.raises(ValidationError):
+            dedisperse_vectorized(data, tiny_setup, tiny_grid, 100)
+
+    def test_rejects_wrong_channels(self, tiny_setup, tiny_grid, rng):
+        data = rng.normal(size=(4, 500)).astype(np.float32)
+        with pytest.raises(ValidationError):
+            dedisperse_naive(data, tiny_setup, tiny_grid, 100)
+
+    def test_rejects_bad_block(self, tiny_setup, tiny_grid, rng):
+        data = make_input(tiny_setup, tiny_grid, rng)
+        with pytest.raises(ValidationError):
+            dedisperse_blocked(
+                data, tiny_setup, tiny_grid, 100, block_samples=0
+            )

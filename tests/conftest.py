@@ -1,0 +1,94 @@
+"""Shared fixtures: laptop-scale setups and devices for functional tests.
+
+The paper-scale setups (1,024 channels x 20,000+ samples) are fine for the
+analytic model but too slow for the functional NumPy kernel in unit tests,
+so most functional tests run on the toy setups below.  The toy "low" setup
+mirrors LOFAR's regime (low frequencies, strong dispersion), the toy
+"high" setup mirrors Apertif's (high frequencies, heavy reuse).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.astro.dm_trials import DMTrialGrid
+from repro.astro.observation import ObservationSetup
+from repro.hardware.catalog import (
+    gtx680,
+    gtx_titan,
+    hd7970,
+    k20,
+    xeon_e5_2620,
+    xeon_phi_5110p,
+)
+
+
+@pytest.fixture
+def toy_low() -> ObservationSetup:
+    """A small, LOFAR-like setup: low frequencies, strong dispersion."""
+    return ObservationSetup(
+        name="toy-low",
+        channels=16,
+        lowest_frequency=140.0,
+        channel_bandwidth=0.2,
+        samples_per_second=400,
+        samples_per_batch=400,
+    )
+
+
+@pytest.fixture
+def toy_high() -> ObservationSetup:
+    """A small, Apertif-like setup: high frequencies, heavy reuse."""
+    return ObservationSetup(
+        name="toy-high",
+        channels=32,
+        lowest_frequency=1420.0,
+        channel_bandwidth=2.0,
+        samples_per_second=480,
+        samples_per_batch=480,
+    )
+
+
+@pytest.fixture
+def toy_grid() -> DMTrialGrid:
+    """A small DM grid matching the toy setups."""
+    return DMTrialGrid(n_dms=8, first=0.0, step=1.0)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for reproducible test data."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(params=["hd7970", "xeon_phi", "gtx680", "k20", "titan"])
+def any_accelerator(request):
+    """Parametrised over the five accelerators of Table I."""
+    return {
+        "hd7970": hd7970,
+        "xeon_phi": xeon_phi_5110p,
+        "gtx680": gtx680,
+        "k20": k20,
+        "titan": gtx_titan,
+    }[request.param]()
+
+
+@pytest.fixture
+def cpu_device():
+    """The CPU baseline device."""
+    return xeon_e5_2620()
+
+
+def make_input(
+    setup: ObservationSetup,
+    grid: DMTrialGrid,
+    rng: np.random.Generator,
+    samples: int | None = None,
+) -> np.ndarray:
+    """Random channelised input long enough for the grid's maximum DM."""
+    from repro.astro.dispersion import max_delay_samples
+
+    s = samples or setup.samples_per_batch
+    t = s + max_delay_samples(setup, grid.last)
+    return rng.normal(size=(setup.channels, t)).astype(np.float32)

@@ -1,0 +1,98 @@
+"""Unit tests for repro.core.ai — the Eq. 2 / Eq. 3 analysis."""
+
+import pytest
+
+from repro.astro.dm_trials import DMTrialGrid
+from repro.astro.observation import apertif, lofar
+from repro.core.ai import (
+    achieved_arithmetic_intensity,
+    ai_no_reuse_bound,
+    ai_perfect_reuse_bound,
+    analyze_reuse,
+)
+from repro.errors import ValidationError
+
+
+class TestEquation2:
+    def test_bound_below_quarter(self):
+        # Eq. 2: AI = 1/(4+eps) < 1/4.
+        assert ai_no_reuse_bound() == pytest.approx(0.25)
+        assert ai_no_reuse_bound(epsilon=0.5) < 0.25
+
+    def test_rejects_negative_epsilon(self):
+        with pytest.raises(ValidationError):
+            ai_no_reuse_bound(epsilon=-0.1)
+
+
+class TestEquation3:
+    def test_formula(self):
+        # 1 / (4 (1/d + 1/s + 1/c))
+        assert ai_perfect_reuse_bound(10, 10, 10) == pytest.approx(
+            1 / (4 * 0.3)
+        )
+
+    def test_grows_without_bound(self):
+        small = ai_perfect_reuse_bound(10, 100, 10)
+        large = ai_perfect_reuse_bound(10_000, 100_000, 10_000)
+        assert large > 100 * small
+
+    def test_exceeds_equation_2_for_real_sizes(self):
+        assert ai_perfect_reuse_bound(1024, 20_000, 1024) > ai_no_reuse_bound()
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValidationError):
+            ai_perfect_reuse_bound(0, 10, 10)
+
+
+class TestAchievedAI:
+    def test_ratio(self):
+        assert achieved_arithmetic_intensity(100.0, 400.0) == pytest.approx(0.25)
+
+    def test_rejects_zero_bytes(self):
+        with pytest.raises(ValidationError):
+            achieved_arithmetic_intensity(1.0, 0.0)
+
+
+class TestAnalyzeReuse:
+    def test_apertif_practical_reuse_dwarfs_lofar(self):
+        # The paper's central setup contrast, quantified: with a realistic
+        # staging budget Apertif keeps order-of-magnitude reuse, LOFAR
+        # collapses towards none.
+        grid = DMTrialGrid(1024)
+        ap = analyze_reuse(apertif(), grid)
+        lo = analyze_reuse(lofar(), grid)
+        assert ap.practical_reuse > 10 * lo.practical_reuse
+        assert ap.overlap_fraction > lo.overlap_fraction
+
+    def test_exposed_ai_between_bounds(self):
+        report = analyze_reuse(apertif(), DMTrialGrid(1024))
+        assert report.ai_lower_bound < report.ai_exposed <= report.ai_upper_bound
+
+    def test_practical_ai_far_below_equation_3_for_lofar(self):
+        # "the upper bound ... not approachable in any realistic scenario".
+        report = analyze_reuse(lofar(), DMTrialGrid(1024))
+        assert report.ai_practical < 0.2 * report.ai_upper_bound
+
+    def test_practical_never_exceeds_exposed(self):
+        for setup in (apertif(), lofar()):
+            report = analyze_reuse(setup, DMTrialGrid(256))
+            assert report.ai_practical <= report.ai_exposed + 1e-9
+
+    def test_single_dm_reuse_is_one(self):
+        report = analyze_reuse(lofar(), DMTrialGrid(1))
+        assert report.mean_reuse == pytest.approx(1.0)
+        assert report.practical_reuse == pytest.approx(1.0)
+
+    def test_zero_dm_grid_reuse_equals_dm_count(self):
+        report = analyze_reuse(lofar(), DMTrialGrid.zero_dm(64))
+        assert report.mean_reuse == pytest.approx(64.0, rel=0.01)
+        assert report.practical_reuse == pytest.approx(64.0, rel=0.01)
+
+    def test_bigger_budget_more_practical_reuse(self):
+        grid = DMTrialGrid(1024)
+        small = analyze_reuse(lofar(), grid, staging_bytes=16 * 1024)
+        large = analyze_reuse(lofar(), grid, staging_bytes=256 * 1024)
+        assert large.practical_reuse > small.practical_reuse
+
+    def test_summary_contains_setup(self):
+        assert "Apertif" in analyze_reuse(apertif(), DMTrialGrid(8)).summary()

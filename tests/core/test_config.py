@@ -1,0 +1,74 @@
+"""Unit tests for repro.core.config."""
+
+import pytest
+
+from repro.core.config import BASE_REGISTERS_PER_ITEM, KernelConfiguration
+from repro.errors import ValidationError
+
+
+@pytest.fixture
+def paper_config():
+    # The GTX 680's Apertif optimum: 32x32 work-items (Sec. V-A).
+    return KernelConfiguration(
+        work_items_time=32, work_items_dm=32, elements_time=25, elements_dm=4
+    )
+
+
+class TestGeometry:
+    def test_work_items_per_group(self, paper_config):
+        assert paper_config.work_items_per_group == 1024
+
+    def test_accumulators(self, paper_config):
+        # The K20/Titan Apertif register optimum: 25x4 = 100 (Sec. V-A).
+        assert paper_config.accumulators == 100
+
+    def test_registers_include_base(self, paper_config):
+        assert (
+            paper_config.registers_per_item
+            == 100 + BASE_REGISTERS_PER_ITEM
+        )
+
+    def test_tile_shape(self, paper_config):
+        assert paper_config.tile_samples == 32 * 25
+        assert paper_config.tile_dms == 32 * 4
+
+    def test_as_tuple_roundtrip(self, paper_config):
+        assert paper_config.as_tuple() == (32, 32, 25, 4)
+
+    def test_describe(self, paper_config):
+        assert "32x32" in paper_config.describe()
+        assert "25x4" in paper_config.describe()
+
+
+class TestWorkGroups:
+    def test_exact_tiling(self, paper_config):
+        # 4,096 DMs / 128 per tile x 20,000 samples / 800 per tile.
+        assert paper_config.work_groups(4096, 20_000) == 32 * 25
+
+    def test_rounds_up_for_ragged_sizes(self):
+        c = KernelConfiguration(10, 1, 1, 1)
+        assert c.work_groups(1, 15) == 2
+
+
+class TestEqualityAndOrdering:
+    def test_equal_configs_equal(self):
+        a = KernelConfiguration(8, 2, 3, 4)
+        b = KernelConfiguration(8, 2, 3, 4)
+        assert a == b and hash(a) == hash(b)
+
+    def test_usable_as_dict_key(self):
+        d = {KernelConfiguration(8, 2, 3, 4): "x"}
+        assert d[KernelConfiguration(8, 2, 3, 4)] == "x"
+
+    def test_sortable(self):
+        configs = [KernelConfiguration(2, 1, 1, 1), KernelConfiguration(1, 1, 1, 1)]
+        assert sorted(configs)[0].work_items_time == 1
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field", range(4))
+    def test_rejects_non_positive(self, field):
+        args = [1, 1, 1, 1]
+        args[field] = 0
+        with pytest.raises(ValidationError):
+            KernelConfiguration(*args)

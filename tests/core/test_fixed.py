@@ -1,0 +1,71 @@
+"""Unit tests for repro.core.fixed — the best-fixed-configuration search."""
+
+import pytest
+
+from repro.astro.dm_trials import DMTrialGrid
+from repro.astro.observation import apertif
+from repro.core.fixed import best_fixed_configuration
+from repro.core.tuner import AutoTuner
+from repro.errors import TuningError
+from repro.hardware.catalog import hd7970
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    tuner = AutoTuner(hd7970(), apertif())
+    return {n: tuner.tune(DMTrialGrid(n)) for n in (2, 16, 128)}
+
+
+class TestBestFixed:
+    def test_fixed_meaningful_on_every_instance(self, sweeps):
+        fixed = best_fixed_configuration(sweeps)
+        assert set(fixed.per_instance_gflops) == {2, 16, 128}
+
+    def test_fixed_constrained_by_smallest_instance(self, sweeps):
+        # A fixed configuration must tile the 2-DM instance, so its DM tile
+        # cannot exceed 2 — the structural reason auto-tuning wins big on
+        # Apertif (Sec. V-D).
+        fixed = best_fixed_configuration(sweeps)
+        assert fixed.config.tile_dms <= 2
+
+    def test_total_is_sum_of_instances(self, sweeps):
+        fixed = best_fixed_configuration(sweeps)
+        assert fixed.total_gflops == pytest.approx(
+            sum(fixed.per_instance_gflops.values())
+        )
+
+    def test_no_universal_config_beats_fixed_total(self, sweeps):
+        fixed = best_fixed_configuration(sweeps)
+        # Every configuration present in all three sweeps must have a
+        # total no larger than the chosen one.
+        totals = {}
+        counts = {}
+        for result in sweeps.values():
+            for sample in result.samples:
+                totals[sample.config] = totals.get(sample.config, 0.0) + sample.gflops
+                counts[sample.config] = counts.get(sample.config, 0) + 1
+        universal = [c for c, n in counts.items() if n == len(sweeps)]
+        assert all(totals[c] <= fixed.total_gflops + 1e-9 for c in universal)
+
+    def test_rejects_empty(self):
+        with pytest.raises(TuningError):
+            best_fixed_configuration({})
+
+
+class TestSpeedups:
+    def test_tuned_never_slower(self, sweeps):
+        fixed = best_fixed_configuration(sweeps)
+        tuned = {n: r.best.gflops for n, r in sweeps.items()}
+        speedups = fixed.speedup_of_tuned(tuned)
+        assert all(s >= 1.0 - 1e-9 for s in speedups.values())
+
+    def test_apertif_speedup_significant_at_scale(self, sweeps):
+        # Sec. V-D: tuned optima are ~3x faster for Apertif GPUs.
+        fixed = best_fixed_configuration(sweeps)
+        tuned = {n: r.best.gflops for n, r in sweeps.items()}
+        assert fixed.speedup_of_tuned(tuned)[128] > 2.0
+
+    def test_missing_instance_reported_as_inf(self, sweeps):
+        fixed = best_fixed_configuration(sweeps)
+        speedups = fixed.speedup_of_tuned({999: 100.0})
+        assert speedups[999] == float("inf")

@@ -1,0 +1,88 @@
+"""Unit tests for repro.core.stats."""
+
+import numpy as np
+import pytest
+
+from repro.core.stats import (
+    OptimumStatistics,
+    chebyshev_probability_bound,
+    optimum_snr,
+    performance_histogram,
+)
+from repro.errors import ValidationError
+
+
+class TestOptimumSnr:
+    def test_known_value(self):
+        population = np.array([1.0, 1.0, 1.0, 5.0])
+        expected = (5.0 - 2.0) / np.std(population)
+        assert optimum_snr(population) == pytest.approx(expected)
+
+    def test_zero_for_constant_population(self):
+        assert optimum_snr(np.ones(10)) == 0.0
+
+    def test_far_optimum_high_snr(self):
+        population = np.concatenate([np.ones(1000), [50.0]])
+        assert optimum_snr(population) > 10
+
+    def test_rejects_singleton(self):
+        with pytest.raises(ValidationError):
+            optimum_snr(np.array([1.0]))
+
+
+class TestChebyshev:
+    def test_paper_best_case(self):
+        # SNR ~1.6 => bound ~39% (the paper's best-case number).
+        assert chebyshev_probability_bound(1.6) == pytest.approx(0.39, abs=0.01)
+
+    def test_paper_worst_case(self):
+        # SNR ~4.5 => bound ~5%.
+        assert chebyshev_probability_bound(4.5) == pytest.approx(0.049, abs=0.003)
+
+    def test_capped_at_one(self):
+        assert chebyshev_probability_bound(0.5) == 1.0
+        assert chebyshev_probability_bound(0.0) == 1.0
+
+    def test_monotone_decreasing(self):
+        assert chebyshev_probability_bound(3.0) < chebyshev_probability_bound(2.0)
+
+
+class TestOptimumStatistics:
+    def test_from_population(self):
+        population = np.array([10.0, 20.0, 30.0, 100.0])
+        stats = OptimumStatistics.from_population(population)
+        assert stats.n_configurations == 4
+        assert stats.best_gflops == 100.0
+        assert stats.mean_gflops == pytest.approx(40.0)
+        assert stats.median_gflops == pytest.approx(25.0)
+        assert stats.snr == pytest.approx(optimum_snr(population))
+        assert stats.chebyshev_bound == pytest.approx(
+            chebyshev_probability_bound(stats.snr)
+        )
+
+    def test_summary_readable(self):
+        stats = OptimumStatistics.from_population(np.array([1.0, 2.0, 9.0]))
+        text = stats.summary()
+        assert "9.0" in text and "SNR" in text
+
+
+class TestHistogram:
+    def test_counts_sum_to_population(self, rng):
+        population = rng.gamma(2.0, 10.0, size=500)
+        counts, edges = performance_histogram(population, n_bins=20)
+        assert counts.sum() == 500
+        assert len(edges) == 21
+
+    def test_bins_span_zero_to_max(self, rng):
+        population = rng.uniform(5, 50, size=100)
+        _, edges = performance_histogram(population)
+        assert edges[0] == 0.0
+        assert edges[-1] == pytest.approx(population.max())
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            performance_histogram(np.array([]))
+
+    def test_rejects_bad_bins(self):
+        with pytest.raises(ValidationError):
+            performance_histogram(np.array([1.0, 2.0]), n_bins=0)

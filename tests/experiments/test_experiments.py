@@ -1,0 +1,146 @@
+"""Tests for the experiment drivers.
+
+These run on a trimmed instance list (full sweeps are exercised by the
+benchmarks); they validate experiment structure and the headline shapes.
+"""
+
+import pytest
+
+from repro.experiments import SweepCache
+from repro.experiments.analysis_ai import run_ai
+from repro.experiments.deployment import run_deployment
+from repro.experiments.fig_performance import run_fig6, run_fig7
+from repro.experiments.fig_snr import run_fig8, run_fig10
+from repro.experiments.fig_speedup import run_fig13, run_fig15
+from repro.experiments.fig_tuning import run_fig2, run_fig4
+from repro.experiments.fig_zerodm import run_fig12
+from repro.experiments.table1 import run_table1
+
+INSTANCES = (2, 64, 512)
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return SweepCache()
+
+
+class TestTable1:
+    def test_rows_match_paper(self):
+        result = run_table1()
+        assert result.headers == ("Platform", "CEs", "GFLOP/s", "GB/s")
+        by_name = {row[0]: row for row in result.rows}
+        assert by_name["HD7970"][2] == 3788
+        assert by_name["Xeon Phi 5110P"][1] == "2 x 60"
+        assert "GTX Titan" in by_name
+
+    def test_render(self):
+        assert "Table I" in run_table1().render()
+
+
+class TestTuningFigures:
+    def test_fig2_series_per_device(self, cache):
+        result = run_fig2(cache=cache, instances=INSTANCES)
+        assert set(result.series) == {
+            "HD7970", "Xeon Phi 5110P", "GTX 680", "K20", "GTX Titan"
+        }
+        assert result.x_values == INSTANCES
+
+    def test_fig2_paper_orderings(self, cache):
+        # GTX 680 needs the most work-items; the Phi the fewest (Sec. V-A).
+        result = run_fig2(cache=cache, instances=INSTANCES)
+        assert result.series["GTX 680"][-1] >= 512
+        assert result.series["Xeon Phi 5110P"][-1] <= 64
+        assert result.series["HD7970"][-1] <= 256
+
+    def test_fig4_registers(self, cache):
+        # K20/Titan carry the heaviest work-items on Apertif (Sec. V-A).
+        result = run_fig4(cache=cache, instances=INSTANCES)
+        k20 = result.series["K20"][-1]
+        assert k20 >= 100
+        assert k20 >= result.series["HD7970"][-1]
+
+
+class TestPerformanceFigures:
+    def test_fig6_includes_realtime_line(self, cache):
+        result = run_fig6(cache=cache, instances=INSTANCES)
+        assert "real-time" in result.series
+        assert result.series["real-time"][0] == pytest.approx(
+            INSTANCES[0] * 0.02048, rel=0.01
+        )
+
+    def test_fig6_hd7970_wins_apertif(self, cache):
+        result = run_fig6(cache=cache, instances=INSTANCES)
+        top = result.series["HD7970"][-1]
+        for name in ("GTX 680", "K20", "GTX Titan", "Xeon Phi 5110P"):
+            assert top > result.series[name][-1]
+
+    def test_fig7_lofar_below_apertif(self, cache):
+        ap = run_fig6(cache=cache, instances=INSTANCES)
+        lo = run_fig7(cache=cache, instances=INSTANCES)
+        for device in ("HD7970", "GTX 680", "K20", "GTX Titan"):
+            assert lo.series[device][-1] < ap.series[device][-1]
+
+    def test_performance_monotone_nondecreasing(self, cache):
+        result = run_fig6(cache=cache, instances=INSTANCES)
+        for name, series in result.series.items():
+            if name == "real-time":
+                continue
+            assert series[0] < series[-1]
+
+
+class TestSnrFigures:
+    def test_fig8_snr_in_paper_band(self, cache):
+        # Sec. VII: "an average signal-to-noise ratio of 2-4".
+        result = run_fig8(cache=cache, instances=INSTANCES)
+        values = [v for series in result.series.values() for v in series]
+        assert all(0.5 < v < 6.0 for v in values)
+        mean = sum(values) / len(values)
+        assert 1.5 < mean < 4.5
+
+    def test_fig10_histogram(self, cache):
+        result = run_fig10(cache=cache, n_dms=64, n_bins=20)
+        counts = result.series["configurations"]
+        assert len(counts) == 20
+        assert sum(counts) > 100  # the whole space is histogrammed
+        # Fig. 10's shape: the top bin is sparse (optimum isolated).
+        assert counts[-1] <= max(3, 0.05 * sum(counts))
+
+
+class TestZeroDmFigures:
+    def test_fig12_restores_apertif_performance(self, cache):
+        # Sec. V-C: with perfect reuse LOFAR results are "higher and in
+        # line with the measurements of the Apertif setup".
+        real = run_fig7(cache=cache, instances=INSTANCES)
+        zero = run_fig12(cache=cache, instances=INSTANCES)
+        apertif = run_fig6(cache=cache, instances=INSTANCES)
+        for device in ("HD7970", "GTX 680", "K20", "GTX Titan"):
+            assert zero.series[device][-1] > 1.5 * real.series[device][-1]
+            assert zero.series[device][-1] == pytest.approx(
+                apertif.series[device][-1], rel=0.15
+            )
+
+
+class TestSpeedupFigures:
+    def test_fig13_apertif_gpu_speedups(self, cache):
+        # Sec. V-D: tuned optima ~3x faster than fixed for Apertif GPUs.
+        result = run_fig13(cache=cache, instances=INSTANCES)
+        assert result.series["HD7970"][-1] > 2.0
+        assert all(v >= 0.99 for v in result.series["HD7970"])
+
+    def test_fig15_cpu_speedups_order_of_magnitude(self, cache):
+        result = run_fig15(cache=cache, instances=INSTANCES)
+        assert result.series["HD7970"][-1] > 30.0
+        assert result.series["Xeon Phi 5110P"][-1] > 2.0
+
+
+class TestAnalysisExperiments:
+    def test_ai_experiment_rows(self, cache):
+        result = run_ai(cache=cache, n_dms=64)
+        assert any(row[1] == "(bounds)" for row in result.rows)
+        assert any(row[1] == "HD7970" for row in result.rows)
+        assert "Eq. 2" in result.title
+
+    def test_deployment_table(self):
+        result = run_deployment(n_dms=2000, n_beams=450)
+        by_device = {row[0]: row for row in result.rows}
+        assert by_device["HD7970"][3] == 50

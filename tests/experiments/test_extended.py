@@ -1,0 +1,71 @@
+"""Tests for the extended experiments and sweep export."""
+
+import pytest
+
+from repro.astro.dm_trials import DMTrialGrid
+from repro.astro.observation import apertif
+from repro.core.tuner import AutoTuner, TuningResult
+from repro.experiments import SweepCache
+from repro.experiments.extended import run_sensitivity, run_sweep_dump
+from repro.hardware.catalog import hd7970
+
+
+class TestSensitivityExperiment:
+    def test_curves_for_both_setups(self):
+        result = run_sensitivity()
+        assert set(result.series) == {"Apertif", "LOFAR"}
+        assert result.x_values[0] == 0.0
+
+    def test_both_curves_start_at_unity_and_decay(self):
+        result = run_sensitivity()
+        for series in result.series.values():
+            assert series[0] == pytest.approx(1.0, abs=0.01)
+            assert series[-1] < series[0]
+
+    def test_lofar_decays_much_faster(self):
+        result = run_sensitivity()
+        mid = len(result.x_values) // 2
+        assert result.series["LOFAR"][mid] < 0.3 * result.series["Apertif"][mid]
+
+    def test_notes_carry_half_power_points(self):
+        result = run_sensitivity()
+        assert "half-power" in result.notes
+
+    def test_renders_as_plot(self):
+        assert "o=Apertif" in run_sensitivity().render_plot()
+
+
+class TestSweepDump:
+    def test_table_shape(self):
+        cache = SweepCache()
+        result = run_sweep_dump(cache=cache, n_dms=64, top=10)
+        assert len(result.rows) == 10
+        assert result.headers == TuningResult.ROW_HEADERS
+
+    def test_rows_sorted_by_gflops(self):
+        result = run_sweep_dump(n_dms=64, top=15)
+        gflops = [row[6] for row in result.rows]
+        assert gflops == sorted(gflops, reverse=True)
+
+    def test_csv_exportable(self, tmp_path):
+        from repro.analysis.export import write_result
+
+        result = run_sweep_dump(n_dms=64, top=5)
+        paths = write_result(result, tmp_path, formats=("csv",))
+        text = paths[0].read_text()
+        assert "gflops" in text.splitlines()[0]
+
+
+class TestTuningResultRows:
+    def test_rows_cover_population(self):
+        sweep = AutoTuner(hd7970(), apertif()).tune(DMTrialGrid(64))
+        rows = sweep.to_rows()
+        assert len(rows) == sweep.n_configurations
+        assert rows[0][6] == pytest.approx(round(sweep.best.gflops, 3))
+
+    def test_row_geometry_consistent(self):
+        sweep = AutoTuner(hd7970(), apertif()).tune(DMTrialGrid(64))
+        for row in sweep.to_rows()[:20]:
+            wt, wd, et, ed, wi, acc = row[:6]
+            assert wi == wt * wd
+            assert acc == et * ed

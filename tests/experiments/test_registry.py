@@ -1,0 +1,38 @@
+"""Unit tests for repro.experiments.registry."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import SweepCache, run_experiment
+from repro.experiments.registry import EXPERIMENTS, experiment_ids
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        ids = experiment_ids()
+        assert "table1" in ids
+        for n in range(2, 17):
+            assert f"fig{n}" in ids
+        assert "ai" in ids and "deployment" in ids
+
+    def test_ids_in_paper_order(self):
+        ids = experiment_ids()
+        assert ids.index("fig2") < ids.index("fig10") < ids.index("fig16")
+
+    def test_run_by_id(self):
+        result = run_experiment("table1")
+        assert result.experiment_id == "table1"
+
+    def test_run_with_kwargs(self):
+        cache = SweepCache()
+        result = run_experiment("fig2", cache=cache, instances=(4, 8))
+        assert result.x_values == (4, 8)
+        assert len(cache) == 10  # 5 devices x 2 instances
+
+    def test_unknown_id(self):
+        with pytest.raises(ExperimentError, match="unknown experiment"):
+            run_experiment("fig99")
+
+    def test_every_driver_documented(self):
+        for driver in EXPERIMENTS.values():
+            assert driver.__doc__

@@ -1,0 +1,66 @@
+"""Unit tests for repro.hardware.calibration."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.hardware.calibration import (
+    PAPER_APERTIF_PLATEAUS,
+    calibrate_device,
+    solve_issue_efficiency,
+    verify_catalogue_calibration,
+)
+from repro.hardware.catalog import hd7970, k20, paper_accelerators
+
+
+class TestSolve:
+    def test_shipped_efficiency_is_near_the_solution(self):
+        # The catalogue values must be (close to) what the procedure
+        # yields — i.e. the calibration is reproducible.
+        for device in paper_accelerators():
+            target = PAPER_APERTIF_PLATEAUS[device.name]
+            solved = solve_issue_efficiency(device, target)
+            assert solved == pytest.approx(
+                device.issue_efficiency, rel=0.10
+            ), device.name
+
+    def test_higher_target_higher_efficiency(self):
+        device = k20()
+        assert solve_issue_efficiency(device, 200.0) > solve_issue_efficiency(
+            device, 150.0
+        )
+
+    def test_unreachable_target_rejected(self):
+        with pytest.raises(ValidationError, match="not reachable"):
+            solve_issue_efficiency(k20(), 10_000.0)
+
+    def test_rejects_non_positive_target(self):
+        with pytest.raises(ValidationError):
+            solve_issue_efficiency(k20(), 0.0)
+
+
+class TestCalibrate:
+    def test_achieves_target_within_percent(self):
+        result = calibrate_device(hd7970(), 300.0)
+        assert result.relative_error < 0.03
+        assert result.achieved_gflops == pytest.approx(300.0, rel=0.03)
+
+    def test_does_not_mutate_catalogue(self):
+        before = hd7970().issue_efficiency
+        calibrate_device(hd7970(), 250.0)
+        assert hd7970().issue_efficiency == before
+
+
+class TestVerifyCatalogue:
+    def test_shipped_catalogue_passes(self):
+        results = verify_catalogue_calibration()
+        assert len(results) == 5
+        for result in results:
+            assert result.relative_error <= 0.15
+
+    def test_detects_drift(self, monkeypatch):
+        # Pretend the paper target were wildly different: the guard fires.
+        import repro.hardware.calibration as cal
+
+        monkeypatch.setitem(cal.PAPER_APERTIF_PLATEAUS, "K20", 20.0)
+        with pytest.raises(ValidationError, match="drifted"):
+            verify_catalogue_calibration()

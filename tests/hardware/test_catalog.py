@@ -1,0 +1,135 @@
+"""Unit tests for repro.hardware.catalog: Table I fidelity."""
+
+import pytest
+
+from repro.constants import NO_FMA_PEAK_FRACTION
+from repro.errors import DeviceError
+from repro.hardware.catalog import (
+    all_devices,
+    device_by_name,
+    gtx680,
+    gtx_titan,
+    hd7970,
+    k20,
+    paper_accelerators,
+    xeon_e5_2620,
+    xeon_phi_5110p,
+)
+
+
+class TestTableOne:
+    """The catalogue must match the paper's Table I exactly."""
+
+    @pytest.mark.parametrize(
+        "factory,ces,gflops,gbs",
+        [
+            (hd7970, 2048, 3788, 264),
+            (xeon_phi_5110p, 960, 2022, 320),
+            (gtx680, 1536, 3090, 192),
+            (k20, 2496, 3519, 208),
+            (gtx_titan, 2688, 4500, 288),
+        ],
+    )
+    def test_peaks(self, factory, ces, gflops, gbs):
+        device = factory()
+        assert device.compute_elements == ces
+        assert device.peak_gflops == pytest.approx(gflops)
+        assert device.peak_bandwidth_gbs == pytest.approx(gbs)
+
+    def test_five_accelerators_in_paper_order(self):
+        names = [d.name for d in paper_accelerators()]
+        assert names == [
+            "HD7970",
+            "Xeon Phi 5110P",
+            "GTX 680",
+            "K20",
+            "GTX Titan",
+        ]
+
+    def test_all_devices_adds_cpu(self):
+        assert all_devices()[-1].name == "Xeon E5-2620"
+        assert len(all_devices()) == 6
+
+    def test_phi_table1_display(self):
+        # The paper's Table I lists the Phi's CEs as "2 x 60".
+        assert xeon_phi_5110p().table1_row()[1] == "2 x 60"
+
+
+class TestArchitecturalLimits:
+    def test_hd7970_work_group_limit(self):
+        # Sec. V-A: "its hardware limit for the number of work-items per
+        # work-group" is 256.
+        assert hd7970().max_work_group_size == 256
+
+    def test_nvidia_work_group_limit(self):
+        for device in (gtx680(), k20(), gtx_titan()):
+            assert device.max_work_group_size == 1024
+
+    def test_gk104_register_cap_below_gk110(self):
+        assert gtx680().max_registers_per_item == 63
+        assert k20().max_registers_per_item == 255
+        assert gtx_titan().max_registers_per_item == 255
+
+    def test_wavefront_widths(self):
+        assert hd7970().wavefront == 64
+        assert gtx680().wavefront == 32
+        assert xeon_phi_5110p().wavefront == 16
+
+    def test_phi_local_memory_emulated(self):
+        assert xeon_phi_5110p().local_memory_is_emulated
+        assert xeon_e5_2620().local_memory_is_emulated
+        assert not hd7970().local_memory_is_emulated
+
+    def test_phi_has_largest_llc(self):
+        others = [d.l2_cache_bytes for d in paper_accelerators() if
+                  d.name != "Xeon Phi 5110P"]
+        assert xeon_phi_5110p().l2_cache_bytes > 10 * max(others)
+
+
+class TestCalibration:
+    """Compute ceilings must land near the paper's measured plateaus."""
+
+    @pytest.mark.parametrize(
+        "factory,low,high",
+        [
+            (hd7970, 300, 420),     # paper ~360 GFLOP/s
+            (gtx680, 140, 200),     # NVIDIA cluster 150-190
+            (k20, 140, 200),
+            (gtx_titan, 150, 210),
+            (xeon_phi_5110p, 35, 55),  # paper ~45
+        ],
+    )
+    def test_ceiling_in_paper_band(self, factory, low, high):
+        device = factory()
+        # Best-case amortisation: heavy DM accumulators.
+        amortisation = 8 / (8 + device.issue_overhead_slots)
+        ceiling = (
+            device.peak_gflops
+            * NO_FMA_PEAK_FRACTION
+            * device.issue_efficiency
+            * amortisation
+        )
+        assert low <= ceiling <= high
+
+    def test_hd7970_tops_compute_ceilings(self):
+        def ceiling(d):
+            return d.peak_gflops * d.issue_efficiency
+        assert ceiling(hd7970()) == max(
+            ceiling(d) for d in paper_accelerators()
+        )
+
+
+class TestLookup:
+    def test_by_exact_name(self):
+        assert device_by_name("HD7970") is hd7970()
+
+    def test_case_and_punctuation_insensitive(self):
+        assert device_by_name("gtx 680") is gtx680()
+        assert device_by_name("XEON-PHI-5110P") is xeon_phi_5110p()
+
+    def test_unknown_raises_with_candidates(self):
+        with pytest.raises(DeviceError, match="known devices"):
+            device_by_name("RTX 4090")
+
+    def test_factories_are_cached(self):
+        assert hd7970() is hd7970()

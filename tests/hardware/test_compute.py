@@ -1,0 +1,82 @@
+"""Unit tests for repro.hardware.compute."""
+
+import pytest
+
+from repro.constants import NO_FMA_PEAK_FRACTION
+from repro.core.config import KernelConfiguration
+from repro.hardware.catalog import hd7970, k20, xeon_phi_5110p
+from repro.hardware.compute import ComputeModel
+
+
+def config(wt=32, wd=1, et=1, ed=1) -> KernelConfiguration:
+    return KernelConfiguration(
+        work_items_time=wt, work_items_dm=wd, elements_time=et, elements_dm=ed
+    )
+
+
+class TestAmortization:
+    def test_single_dm_pays_full_overhead(self):
+        model = ComputeModel(k20())  # overhead 2 slots
+        assert model.amortization(config(ed=1)) == pytest.approx(1 / 3)
+
+    def test_grows_with_dm_elements(self):
+        model = ComputeModel(k20())
+        assert model.amortization(config(ed=4)) > model.amortization(
+            config(ed=2)
+        )
+
+    def test_approaches_one(self):
+        model = ComputeModel(k20())
+        assert model.amortization(config(ed=8)) == pytest.approx(0.8)
+
+    def test_gcn_cheaper_overhead(self):
+        # HD7970's single-cycle LDS path has fewer overhead slots.
+        amd = ComputeModel(hd7970()).amortization(config(ed=2))
+        nv = ComputeModel(k20()).amortization(config(ed=2))
+        assert amd > nv
+
+
+class TestOversizeFactor:
+    def test_no_penalty_without_preference(self):
+        model = ComputeModel(k20())
+        assert model.oversize_factor(config(wt=1024)) == 1.0
+
+    def test_phi_penalises_large_groups(self):
+        model = ComputeModel(xeon_phi_5110p())
+        small = model.oversize_factor(config(wt=16))
+        large = model.oversize_factor(config(wt=1024))
+        assert small == 1.0
+        assert large > 1.5
+
+    def test_penalty_monotone(self):
+        model = ComputeModel(xeon_phi_5110p())
+        assert model.oversize_factor(config(wt=64)) < model.oversize_factor(
+            config(wt=128)
+        )
+
+
+class TestCeiling:
+    def test_no_fma_factor_applied(self):
+        device = k20()
+        model = ComputeModel(device)
+        c = config(ed=8)
+        expected = (
+            device.peak_flops
+            * NO_FMA_PEAK_FRACTION
+            * device.issue_efficiency
+            * model.amortization(c)
+        )
+        assert model.ceiling_flops(c) == pytest.approx(expected)
+
+    def test_ceiling_below_half_peak(self):
+        # Sec. VI: no FMA alone caps the bound at 50% of peak.
+        for factory in (hd7970, k20, xeon_phi_5110p):
+            device = factory()
+            ceiling = ComputeModel(device).ceiling_flops(config(ed=8))
+            assert ceiling < 0.5 * device.peak_flops
+
+    def test_phi_oversize_reduces_ceiling(self):
+        model = ComputeModel(xeon_phi_5110p())
+        assert model.ceiling_flops(config(wt=256)) < model.ceiling_flops(
+            config(wt=16)
+        )

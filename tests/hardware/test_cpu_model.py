@@ -1,0 +1,55 @@
+"""Unit tests for repro.hardware.cpu_model."""
+
+import pytest
+
+from repro.astro.dm_trials import DMTrialGrid
+from repro.astro.observation import apertif, lofar
+from repro.hardware.cpu_model import CPUModel
+
+
+class TestCPUModel:
+    def test_plateau_in_paper_band(self):
+        # Figs. 15-16 imply the CPU plateaus at roughly 5-9 GFLOP/s.
+        metrics = CPUModel().simulate(apertif(), DMTrialGrid(1024))
+        assert 4.0 < metrics.gflops < 10.0
+
+    def test_both_setups_similar(self):
+        cpu = CPUModel()
+        ap = cpu.simulate(apertif(), DMTrialGrid(1024)).gflops
+        lo = cpu.simulate(lofar(), DMTrialGrid(1024)).gflops
+        assert ap == pytest.approx(lo, rel=0.5)
+
+    def test_flop_accounting(self):
+        metrics = CPUModel().simulate(apertif(), DMTrialGrid(64))
+        assert metrics.flops == 64 * 20_000 * 1024
+
+    def test_small_instances_lose_parallel_efficiency(self):
+        cpu = CPUModel()
+        # One DM of one block barely feeds 6 cores.
+        tiny = cpu.simulate(apertif(), DMTrialGrid(1), samples=64)
+        big = cpu.simulate(apertif(), DMTrialGrid(1024))
+        assert tiny.parallel_efficiency < 1.0
+        assert big.parallel_efficiency == 1.0
+        assert tiny.gflops < big.gflops
+
+    def test_gflops_scale(self):
+        metrics = CPUModel().simulate(lofar(), DMTrialGrid(128))
+        assert metrics.gflops == pytest.approx(
+            metrics.flops / metrics.seconds / 1e9
+        )
+
+    def test_traffic_includes_input_and_output(self):
+        metrics = CPUModel().simulate(lofar(), DMTrialGrid(128))
+        output = 128 * 200_000 * 4
+        assert metrics.bytes_total > output
+
+    def test_traffic_bounded_by_naive(self):
+        setup = lofar()
+        grid = DMTrialGrid(128)
+        metrics = CPUModel().simulate(setup, grid)
+        naive = 128 * 200_000 * 32 * 4 + 128 * 200_000 * 4
+        assert metrics.bytes_total <= naive
+
+    def test_single_dm(self):
+        metrics = CPUModel().simulate(lofar(), DMTrialGrid(1))
+        assert metrics.gflops > 0

@@ -1,0 +1,92 @@
+"""Unit tests for repro.hardware.device."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import DeviceError, ValidationError
+from repro.hardware.device import DeviceSpec
+
+
+def make_device(**overrides) -> DeviceSpec:
+    base = dict(
+        name="test-gpu",
+        vendor="ACME",
+        device_type="gpu",
+        compute_units=4,
+        lanes_per_cu=32,
+        clock_ghz=1.0,
+        peak_gflops=1000.0,
+        peak_bandwidth_gbs=100.0,
+        max_work_group_size=256,
+        wavefront=32,
+        max_work_items_per_cu=1024,
+        max_work_groups_per_cu=8,
+        registers_per_cu=32768,
+        max_registers_per_item=128,
+        local_memory_per_cu=32768,
+        max_local_memory_per_wg=16384,
+    )
+    base.update(overrides)
+    return DeviceSpec(**base)
+
+
+class TestDerivedQuantities:
+    def test_compute_elements(self):
+        assert make_device().compute_elements == 128
+
+    def test_peak_conversions(self):
+        d = make_device()
+        assert d.peak_flops == pytest.approx(1e12)
+        assert d.peak_bytes_per_second == pytest.approx(1e11)
+
+    def test_machine_balance(self):
+        # 1000 GFLOP/s over 100 GB/s => ridge at 10 FLOP/byte.
+        assert make_device().machine_balance == pytest.approx(10.0)
+
+    def test_cache_line_elements(self):
+        assert make_device(cache_line_bytes=128).cache_line_elements == 32
+
+    def test_table1_row(self):
+        name, ces, gflops, gbs = make_device().table1_row()
+        assert name == "test-gpu"
+        assert ces == "32 x 4"
+        assert (gflops, gbs) == (1000, 100)
+
+    def test_table1_row_override(self):
+        row = make_device(table1_ces="2 x 60").table1_row()
+        assert row[1] == "2 x 60"
+
+
+class TestValidation:
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            make_device().name = "other"
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValidationError):
+            make_device(name="")
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(ValidationError):
+            make_device(device_type="quantum")
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ValidationError):
+            make_device(issue_efficiency=1.5)
+        with pytest.raises(ValidationError):
+            make_device(memory_efficiency=-0.1)
+
+    def test_rejects_workgroup_bigger_than_cu(self):
+        with pytest.raises(DeviceError):
+            make_device(max_work_group_size=2048, max_work_items_per_cu=1024)
+
+    def test_rejects_wg_local_memory_above_cu(self):
+        with pytest.raises(DeviceError):
+            make_device(
+                local_memory_per_cu=16384, max_local_memory_per_wg=32768
+            )
+
+    def test_rejects_zero_knee(self):
+        with pytest.raises(ValidationError):
+            make_device(occupancy_knee=0.0)

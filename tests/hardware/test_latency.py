@@ -1,0 +1,54 @@
+"""Unit tests for repro.hardware.latency."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.hardware.latency import (
+    MIN_HIDING_FLOOR,
+    latency_hiding_factor,
+    utilization_factor,
+)
+
+
+class TestLatencyHiding:
+    def test_saturates_at_knee(self):
+        assert latency_hiding_factor(0.5, 0.5) == 1.0
+        assert latency_hiding_factor(0.9, 0.5) == 1.0
+
+    def test_linear_below_knee(self):
+        assert latency_hiding_factor(0.25, 0.5) == pytest.approx(0.5)
+
+    def test_floor_at_zero_occupancy(self):
+        assert latency_hiding_factor(0.0, 0.5) == MIN_HIDING_FLOOR
+
+    def test_high_knee_punishes_low_occupancy(self):
+        # GK104-style (knee 0.85) vs GK110-style (knee 0.55) at occ 0.4.
+        assert latency_hiding_factor(0.4, 0.85) < latency_hiding_factor(
+            0.4, 0.55
+        )
+
+    @pytest.mark.parametrize("occ", [-0.1, 1.1])
+    def test_rejects_bad_occupancy(self, occ):
+        with pytest.raises(ValidationError):
+            latency_hiding_factor(occ, 0.5)
+
+    @pytest.mark.parametrize("knee", [0.0, 1.5])
+    def test_rejects_bad_knee(self, knee):
+        with pytest.raises(ValidationError):
+            latency_hiding_factor(0.5, knee)
+
+
+class TestUtilization:
+    def test_full_when_enough_work_groups(self):
+        assert utilization_factor(64, 8, 4) == 1.0
+
+    def test_partial_when_starved(self):
+        # 8 WGs over 8 CUs wanting 4 each => 25%.
+        assert utilization_factor(8, 8, 4) == pytest.approx(0.25)
+
+    def test_never_above_one(self):
+        assert utilization_factor(10 ** 6, 8, 4) == 1.0
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValidationError):
+            utilization_factor(0, 8, 4)

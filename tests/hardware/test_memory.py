@@ -1,0 +1,174 @@
+"""Unit tests for repro.hardware.memory — the data-reuse model."""
+
+import numpy as np
+import pytest
+
+from repro.astro.dm_trials import DMTrialGrid
+from repro.astro.observation import apertif, lofar
+from repro.core.config import KernelConfiguration
+from repro.errors import ValidationError
+from repro.hardware.catalog import hd7970, k20, xeon_phi_5110p
+from repro.hardware.memory import MemoryModel
+
+
+def config(wt=32, wd=8, et=25, ed=1) -> KernelConfiguration:
+    return KernelConfiguration(
+        work_items_time=wt, work_items_dm=wd, elements_time=et, elements_dm=ed
+    )
+
+
+@pytest.fixture
+def apertif_model():
+    return MemoryModel(hd7970(), apertif(), DMTrialGrid(64))
+
+
+@pytest.fixture
+def lofar_model():
+    return MemoryModel(hd7970(), lofar(), DMTrialGrid(64))
+
+
+class TestReadOverhead:
+    def test_bounded_between_one_and_two(self, apertif_model):
+        assert 1.0 <= apertif_model.read_overhead(config(wt=16, et=1)) <= 2.0
+
+    def test_worst_case_for_tiny_tiles(self):
+        model = MemoryModel(k20(), apertif(), DMTrialGrid(8))
+        # 32-element tile vs 32-element cache line: the paper's factor two.
+        c = config(wt=32, et=1, wd=1)
+        assert model.read_overhead(c) == pytest.approx(2.0)
+
+    def test_amortised_for_long_rows(self, apertif_model):
+        long_rows = apertif_model.read_overhead(config(wt=100, et=10))
+        short_rows = apertif_model.read_overhead(config(wt=25, et=2))
+        assert long_rows < short_rows
+
+
+class TestChannelSpans:
+    def test_shape_and_sign(self, lofar_model):
+        spans = lofar_model.channel_spans(config())
+        assert spans.shape == (32,)
+        assert np.all(spans >= 0)
+
+    def test_monotone_decreasing_with_channel(self, lofar_model):
+        spans = lofar_model.channel_spans(config())
+        assert spans[0] == spans.max()
+        assert spans[-1] == spans.min()
+
+    def test_zero_for_degenerate_grid(self):
+        model = MemoryModel(hd7970(), lofar(), DMTrialGrid.zero_dm(64))
+        assert np.all(model.channel_spans(config()) == 0)
+
+    def test_grows_with_tile_dms(self, lofar_model):
+        small = lofar_model.channel_spans(config(wd=2)).max()
+        large = lofar_model.channel_spans(config(wd=8)).max()
+        assert large > small
+
+    def test_rejects_non_dividing_tile(self, lofar_model):
+        with pytest.raises(ValidationError):
+            lofar_model.channel_spans(config(wd=3, ed=1))  # 3 does not divide 64
+
+
+class TestStagingAllocation:
+    def test_apertif_windows_fit(self, apertif_model):
+        staged, alloc = apertif_model.staging_allocation(config())
+        assert staged
+        assert 0 < alloc <= hd7970().max_local_memory_per_wg
+
+    def test_lofar_large_tiles_overflow(self):
+        model = MemoryModel(hd7970(), lofar(), DMTrialGrid(64))
+        staged, alloc = model.staging_allocation(config(wt=250, wd=1, et=25, ed=8))
+        assert not staged
+        assert alloc == 0
+
+    def test_single_dm_tile_never_stages(self, apertif_model):
+        staged, _ = apertif_model.staging_allocation(
+            config(wd=1, ed=1)
+        )
+        assert not staged
+
+    def test_emulated_local_memory_never_stages(self):
+        model = MemoryModel(xeon_phi_5110p(), apertif(), DMTrialGrid(64))
+        staged, _ = model.staging_allocation(config())
+        assert not staged
+
+    def test_zero_dm_grid_always_stages(self):
+        model = MemoryModel(hd7970(), lofar(), DMTrialGrid.zero_dm(64))
+        staged, alloc = model.staging_allocation(config(wt=250, et=8, wd=1, ed=8))
+        assert staged
+        assert alloc == 250 * 8 * 4
+
+
+class TestCacheReuse:
+    def test_at_least_one(self, lofar_model):
+        spans = lofar_model.channel_spans(config())
+        reuse = lofar_model.cache_reuse(config(), spans, wgs_per_cu=2)
+        assert np.all(reuse >= 1.0)
+
+    def test_bounded_by_tile_dms(self, lofar_model):
+        c = config(wd=8, ed=1)
+        spans = lofar_model.channel_spans(c)
+        reuse = lofar_model.cache_reuse(c, spans, wgs_per_cu=2)
+        assert np.all(reuse <= c.tile_dms)
+
+    def test_small_spans_reuse_better(self):
+        c = config(wd=8, ed=1)
+        ap = MemoryModel(k20(), apertif(), DMTrialGrid(64))
+        lo = MemoryModel(k20(), lofar(), DMTrialGrid(64))
+        r_ap = ap.cache_reuse(c, ap.channel_spans(c), 2).mean()
+        r_lo = lo.cache_reuse(c, lo.channel_spans(c), 2).mean()
+        assert r_ap > r_lo
+
+    def test_more_resident_groups_less_cache_each(self):
+        # Only bites when the chain (cache share) is the binding limit, so
+        # use a single-sample tile where ideal reuse is huge.
+        c = config(wt=32, et=1, wd=8, ed=8)
+        model = MemoryModel(hd7970(), lofar(), DMTrialGrid(64))
+        spans = model.channel_spans(c)
+        few = model.cache_reuse(c, spans, wgs_per_cu=1).mean()
+        many = model.cache_reuse(c, spans, wgs_per_cu=16).mean()
+        assert many <= few
+
+
+class TestTraffic:
+    def test_output_bytes_exact(self, apertif_model):
+        t = apertif_model.traffic(config(), samples=20_000)
+        assert t.output_bytes == 64 * 20_000 * 4
+
+    def test_reuse_factor_definition(self, apertif_model):
+        t = apertif_model.traffic(config(), samples=20_000)
+        assert t.reuse_factor == pytest.approx(
+            t.naive_input_bytes / t.input_bytes
+        )
+
+    def test_staged_apertif_beats_unstaged_lofar(self):
+        c = config()
+        ap = MemoryModel(hd7970(), apertif(), DMTrialGrid(64)).traffic(
+            c, samples=20_000
+        )
+        lo = MemoryModel(hd7970(), lofar(), DMTrialGrid(64)).traffic(
+            c, samples=200_000
+        )
+        assert ap.staged and ap.reuse_factor > 4 * lo.reuse_factor
+
+    def test_no_tile_sharing_means_no_reuse(self, apertif_model):
+        t = apertif_model.traffic(config(wd=1, ed=1), samples=20_000)
+        assert t.reuse_factor == pytest.approx(1.0)
+
+    def test_input_never_below_union_window(self, apertif_model):
+        c = config()
+        t = apertif_model.traffic(c, samples=20_000)
+        spans = apertif_model.channel_spans(c)
+        union = float(np.sum(c.tile_samples + spans)) * 4
+        n_wgs = (64 // c.tile_dms) * (20_000 // c.tile_samples)
+        assert t.input_bytes >= union * n_wgs / c.tile_dms  # loose lower bound
+
+    def test_rejects_non_dividing_samples(self, apertif_model):
+        with pytest.raises(ValidationError):
+            apertif_model.traffic(config(), samples=20_001)
+
+    def test_zero_dm_reaches_ideal_reuse(self):
+        c = config(wd=8, ed=8)
+        model = MemoryModel(hd7970(), lofar(), DMTrialGrid.zero_dm(64))
+        t = model.traffic(c, samples=200_000)
+        assert t.staged
+        assert t.reuse_factor == pytest.approx(c.tile_dms, rel=0.01)

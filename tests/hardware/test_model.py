@@ -1,0 +1,132 @@
+"""Unit tests for repro.hardware.model — the end-to-end simulator."""
+
+import pytest
+
+from repro.astro.dm_trials import DMTrialGrid
+from repro.astro.observation import apertif, lofar
+from repro.core.config import KernelConfiguration
+from repro.errors import ConfigurationError
+from repro.hardware.catalog import gtx680, hd7970, k20, xeon_phi_5110p
+from repro.hardware.metrics import PerformanceBound
+from repro.hardware.model import PerformanceModel
+
+
+APERTIF_CONFIG = KernelConfiguration(
+    work_items_time=32, work_items_dm=8, elements_time=25, elements_dm=4
+)
+
+
+@pytest.fixture
+def model():
+    return PerformanceModel(hd7970(), apertif(), DMTrialGrid(256))
+
+
+class TestSimulate:
+    def test_metrics_are_consistent(self, model):
+        m = model.simulate(APERTIF_CONFIG)
+        assert m.seconds > 0
+        assert m.flops == 256 * 20_000 * 1024
+        assert m.gflops == pytest.approx(m.flops / m.seconds / 1e9)
+        assert m.bytes_total == pytest.approx(
+            m.bytes_input + m.bytes_output + (
+                m.bytes_total - m.bytes_input - m.bytes_output
+            )
+        )
+        assert m.seconds >= max(m.memory_seconds, m.compute_seconds)
+
+    def test_bound_matches_times(self, model):
+        m = model.simulate(APERTIF_CONFIG)
+        if m.bound is PerformanceBound.MEMORY:
+            assert m.memory_seconds >= m.compute_seconds
+        elif m.bound is PerformanceBound.COMPUTE:
+            assert m.compute_seconds > m.memory_seconds
+        else:
+            assert m.overhead_seconds > max(
+                m.memory_seconds, m.compute_seconds
+            )
+
+    def test_validation_on_by_default(self, model):
+        bad = KernelConfiguration(
+            work_items_time=33, work_items_dm=1, elements_time=1, elements_dm=1
+        )
+        with pytest.raises(ConfigurationError):
+            model.simulate(bad)
+
+    def test_validation_skippable_only_for_geometry_safe_configs(self, model):
+        # validate=False still requires exact tiling (the traffic model
+        # needs it), but skips the wavefront-multiple check.
+        odd = KernelConfiguration(
+            work_items_time=25, work_items_dm=1, elements_time=1, elements_dm=1
+        )
+        m = model.simulate(odd, validate=False)
+        assert m.seconds > 0
+
+    def test_gflops_positive_and_below_peak(self, model):
+        m = model.simulate(APERTIF_CONFIG)
+        assert 0 < m.gflops < hd7970().peak_gflops
+
+    def test_summary_mentions_device_and_bound(self, model):
+        text = model.simulate(APERTIF_CONFIG).summary()
+        assert "HD7970" in text and "bound" in text
+
+
+class TestPhysicalBehaviours:
+    """The behaviours the paper's analysis predicts."""
+
+    def test_apertif_reuse_beats_lofar(self):
+        c = APERTIF_CONFIG
+        ap = PerformanceModel(hd7970(), apertif(), DMTrialGrid(256)).simulate(c)
+        lo_c = KernelConfiguration(250, 1, 25, 4)
+        lo = PerformanceModel(hd7970(), lofar(), DMTrialGrid(256)).simulate(
+            lo_c, validate=False
+        )
+        assert ap.reuse_factor > 3 * lo.reuse_factor
+
+    def test_zero_dm_grid_maximises_reuse(self):
+        c = APERTIF_CONFIG
+        real = PerformanceModel(hd7970(), lofar(), DMTrialGrid(256)).simulate(
+            c, validate=False
+        )
+        zero = PerformanceModel(
+            hd7970(), lofar(), DMTrialGrid.zero_dm(256)
+        ).simulate(c, validate=False)
+        assert zero.reuse_factor > real.reuse_factor
+        assert zero.gflops > real.gflops
+
+    def test_sharing_dms_beats_isolated_rows_on_apertif(self, model):
+        shared = model.simulate(APERTIF_CONFIG)
+        isolated = model.simulate(
+            KernelConfiguration(32, 8, 25, 1), validate=False
+        )
+        assert shared.gflops > isolated.gflops
+
+    def test_more_dms_amortise_overhead(self):
+        c = APERTIF_CONFIG
+        small = PerformanceModel(hd7970(), apertif(), DMTrialGrid(32)).simulate(c)
+        large = PerformanceModel(hd7970(), apertif(), DMTrialGrid(1024)).simulate(c)
+        assert large.gflops > small.gflops
+
+    def test_phi_prefers_small_work_groups(self):
+        model = PerformanceModel(xeon_phi_5110p(), apertif(), DMTrialGrid(256))
+        small = model.simulate(
+            KernelConfiguration(16, 1, 25, 8), validate=False
+        )
+        large = model.simulate(
+            KernelConfiguration(1000, 1, 20, 8), validate=False
+        )
+        assert small.gflops > large.gflops
+
+    def test_gk104_needs_occupancy(self):
+        # At equal work per item, GK104 loses more from a small work-group
+        # than GK110 does (its latency-hiding knee is higher).
+        small = KernelConfiguration(50, 1, 10, 4)
+        big = KernelConfiguration(1000, 1, 10, 4)
+
+        def ratio(device):
+            m = PerformanceModel(device, lofar(), DMTrialGrid(256))
+            return (
+                m.simulate(small, validate=False).gflops
+                / m.simulate(big, validate=False).gflops
+            )
+
+        assert ratio(gtx680()) < ratio(k20())

@@ -1,0 +1,101 @@
+"""Unit tests for repro.hardware.occupancy."""
+
+import pytest
+
+from repro.core.config import KernelConfiguration
+from repro.errors import ConfigurationError
+from repro.hardware.catalog import gtx680, hd7970, k20, xeon_phi_5110p
+from repro.hardware.occupancy import ILP_WINDOW, OccupancyCalculator
+
+
+def config(wt=32, wd=1, et=1, ed=1) -> KernelConfiguration:
+    return KernelConfiguration(
+        work_items_time=wt, work_items_dm=wd, elements_time=et, elements_dm=ed
+    )
+
+
+class TestLimits:
+    def test_work_item_limit_enforced(self):
+        calc = OccupancyCalculator(hd7970())
+        with pytest.raises(ConfigurationError, match="work-group"):
+            calc.calculate(config(wt=512))  # HD7970 caps at 256
+
+    def test_register_limit_enforced(self):
+        calc = OccupancyCalculator(gtx680())
+        with pytest.raises(ConfigurationError, match="registers"):
+            calc.calculate(config(et=32, ed=8))  # 256+8 regs > 63
+
+    def test_local_memory_limit_enforced(self):
+        calc = OccupancyCalculator(hd7970())
+        with pytest.raises(ConfigurationError, match="local memory"):
+            calc.calculate(config(), staging_window=20_000)  # 80 KB > 32 KB
+
+    def test_emulated_local_memory_never_blocks(self):
+        calc = OccupancyCalculator(xeon_phi_5110p())
+        result = calc.calculate(config(wt=16), staging_window=10 ** 6)
+        assert result.local_memory_per_wg == 0
+
+
+class TestResidency:
+    def test_small_group_limited_by_wg_slots(self):
+        result = OccupancyCalculator(k20()).calculate(config(wt=32))
+        # 16 WGs x 32 items = 512 of 2,048 slots.
+        assert result.limited_by == "work-groups"
+        assert result.work_groups_per_cu == 16
+        assert result.occupancy == pytest.approx(0.25)
+
+    def test_large_group_limited_by_items(self):
+        result = OccupancyCalculator(k20()).calculate(config(wt=1024))
+        assert result.work_groups_per_cu == 2
+        assert result.occupancy == pytest.approx(1.0)
+
+    def test_heavy_registers_cut_residency(self):
+        calc = OccupancyCalculator(k20())
+        light = calc.calculate(config(wt=256, et=1, ed=1))
+        heavy = calc.calculate(config(wt=256, et=25, ed=8))
+        assert heavy.work_groups_per_cu < light.work_groups_per_cu
+        assert heavy.limited_by == "registers"
+
+    def test_local_memory_cuts_residency(self):
+        calc = OccupancyCalculator(hd7970())
+        none = calc.calculate(config(wt=64))
+        staged = calc.calculate(config(wt=64), staging_window=8000)
+        assert staged.work_groups_per_cu <= none.work_groups_per_cu
+        assert staged.local_memory_per_wg == 32_000
+
+    def test_impossible_residency_raises(self):
+        # 1,024 items x 64+ regs each cannot fit GK110's 64K register file.
+        calc = OccupancyCalculator(k20())
+        with pytest.raises(ConfigurationError, match="cannot fit"):
+            calc.calculate(config(wt=1024, et=16, ed=8))
+
+
+class TestEffectiveOccupancy:
+    def test_ilp_bonus_grows_with_accumulators(self):
+        # wt=64 leaves base occupancy at 0.5 (work-group-slot limited), so
+        # the ILP credit is visible.
+        calc = OccupancyCalculator(k20())
+        plain = calc.calculate(config(wt=64, et=1, ed=1))
+        unrolled = calc.calculate(config(wt=64, et=4, ed=1))
+        assert plain.occupancy == pytest.approx(0.5)
+        assert unrolled.effective_occupancy > plain.effective_occupancy
+
+    def test_ilp_bonus_saturates_at_window(self):
+        calc = OccupancyCalculator(k20())
+        at_window = calc.calculate(config(wt=64, et=ILP_WINDOW + 1, ed=1))
+        beyond = calc.calculate(config(wt=64, et=ILP_WINDOW + 5, ed=1))
+        assert beyond.effective_occupancy <= at_window.effective_occupancy
+
+    def test_effective_capped_at_one(self):
+        result = OccupancyCalculator(k20()).calculate(
+            config(wt=1024, et=8, ed=1)
+        )
+        assert result.effective_occupancy <= 1.0
+
+    def test_zero_ilp_device_gets_no_bonus(self):
+        calc = OccupancyCalculator(xeon_phi_5110p())
+        plain = calc.calculate(config(wt=16, et=1, ed=1))
+        heavy = calc.calculate(config(wt=16, et=8, ed=4))
+        assert heavy.effective_occupancy == pytest.approx(
+            plain.effective_occupancy
+        )

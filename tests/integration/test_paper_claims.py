@@ -1,0 +1,340 @@
+"""Integration tests: the paper's quantitative claims, end to end.
+
+Each test names the paper section/figure it checks.  These run full tuning
+sweeps at 1,024 DMs (the plateau region of every figure) plus a few other
+instances, shared through a module-scoped cache.
+"""
+
+import pytest
+
+from repro.astro.dm_trials import DMTrialGrid
+from repro.astro.observation import apertif, lofar
+from repro.core.fixed import best_fixed_configuration
+from repro.core.stats import OptimumStatistics
+from repro.experiments import SweepCache
+from repro.hardware.catalog import (
+    gtx680,
+    gtx_titan,
+    hd7970,
+    k20,
+    paper_accelerators,
+    xeon_phi_5110p,
+)
+from repro.hardware.cpu_model import CPUModel
+
+N_DMS = 1024
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return SweepCache()
+
+
+def tuned(cache, device, setup, n_dms=N_DMS, zero_dm=False):
+    return cache.sweep(device, setup, n_dms, zero_dm).best
+
+
+class TestFig6ApertifPerformance:
+    def test_hd7970_achieves_highest_performance(self, cache):
+        # Sec. V-B: "the HD7970 achieves the highest performance".
+        scores = {
+            d.name: tuned(cache, d, apertif()).gflops
+            for d in paper_accelerators()
+        }
+        assert max(scores, key=scores.get) == "HD7970"
+
+    def test_hd7970_about_2x_nvidia(self, cache):
+        # Sec. V-B: "On average the HD7970 is 2 times faster than the
+        # NVIDIA GPUs".
+        amd = tuned(cache, hd7970(), apertif()).gflops
+        nvidia = [
+            tuned(cache, d, apertif()).gflops
+            for d in (gtx680(), k20(), gtx_titan())
+        ]
+        ratio = amd / (sum(nvidia) / 3)
+        assert 1.5 < ratio < 2.8
+
+    def test_hd7970_about_7x_phi(self, cache):
+        # Sec. V-B: "and 7.5 times faster than the Xeon Phi".
+        ratio = (
+            tuned(cache, hd7970(), apertif()).gflops
+            / tuned(cache, xeon_phi_5110p(), apertif()).gflops
+        )
+        assert 5.5 < ratio < 10.0
+
+    def test_nvidia_gpus_cluster_together(self, cache):
+        # Sec. V-B: "the three NVIDIA GPUs, close to each other in
+        # performance, sit in the middle".
+        scores = [
+            tuned(cache, d, apertif()).gflops
+            for d in (gtx680(), k20(), gtx_titan())
+        ]
+        assert max(scores) / min(scores) < 1.35
+
+    def test_absolute_scale_matches_paper(self, cache):
+        # Fig. 6 plateaus: HD7970 ~360, NVIDIA 150-190, Phi ~45 GFLOP/s.
+        assert tuned(cache, hd7970(), apertif()).gflops == pytest.approx(
+            360, rel=0.15
+        )
+        assert tuned(cache, xeon_phi_5110p(), apertif()).gflops == pytest.approx(
+            45, rel=0.25
+        )
+
+
+class TestFig7LofarPerformance:
+    def test_lofar_below_apertif_for_gpus(self, cache):
+        # Sec. V-B: "performance for LOFAR being lower than ... Apertif".
+        for device in (hd7970(), gtx680(), k20(), gtx_titan()):
+            assert (
+                tuned(cache, device, lofar()).gflops
+                < tuned(cache, device, apertif()).gflops
+            )
+
+    def test_hd7970_and_titan_lead(self, cache):
+        # Sec. V-B: "the HD7970 and the GTX Titan achieving the higher
+        # performance" (the two highest-bandwidth devices).
+        scores = {
+            d.name: tuned(cache, d, lofar()).gflops
+            for d in paper_accelerators()
+        }
+        leaders = sorted(scores, key=scores.get, reverse=True)[:2]
+        assert set(leaders) == {"HD7970", "GTX Titan"}
+
+    def test_gpus_2_to_3x_phi(self, cache):
+        # Sec. V-B: "the GPUs are, on average, 2.5 times faster than the
+        # Xeon Phi" on LOFAR.
+        phi = tuned(cache, xeon_phi_5110p(), lofar()).gflops
+        gpus = [
+            tuned(cache, d, lofar()).gflops
+            for d in (hd7970(), gtx680(), k20(), gtx_titan())
+        ]
+        ratio = (sum(gpus) / 4) / phi
+        assert 1.8 < ratio < 3.5
+
+    def test_gap_narrower_than_apertif(self, cache):
+        # The Phi's relative position improves on LOFAR (7.5x -> 2.5x).
+        def gap(setup):
+            phi = tuned(cache, xeon_phi_5110p(), setup).gflops
+            best = max(
+                tuned(cache, d, setup).gflops for d in paper_accelerators()
+            )
+            return best / phi
+
+        assert gap(lofar()) < 0.6 * gap(apertif())
+
+
+class TestFigs2to5TunedParameters:
+    def test_gtx680_needs_most_work_items(self, cache):
+        # Sec. V-A: "The GTX 680 requires the highest number of work-items
+        # (1,024), the Xeon Phi requires the lowest (16)".
+        for setup in (apertif(), lofar()):
+            per_device = {
+                d.name: tuned(cache, d, setup).config.work_items_per_group
+                for d in paper_accelerators()
+            }
+            assert per_device["GTX 680"] == max(per_device.values())
+            assert per_device["Xeon Phi 5110P"] == min(per_device.values())
+
+    def test_gtx680_apertif_hits_1024(self, cache):
+        assert (
+            tuned(cache, gtx680(), apertif()).config.work_items_per_group
+            >= 800
+        )
+
+    def test_phi_uses_16_ish_work_items(self, cache):
+        assert (
+            tuned(cache, xeon_phi_5110p(), apertif()).config.work_items_per_group
+            <= 32
+        )
+
+    def test_hd7970_at_its_hardware_limit(self, cache):
+        # Sec. V-A: "The HD7970 maintains its optimum at 256 work-items
+        # per work-group, its hardware limit".
+        assert (
+            tuned(cache, hd7970(), lofar()).config.work_items_per_group
+            <= 256
+        )
+
+    def test_gk110_heavy_registers_on_apertif(self, cache):
+        # Sec. V-A: K20/Titan "have fewer work-items than the maximum,
+        # but with more work associated" — accumulators ~100.
+        for device in (k20(), gtx_titan()):
+            assert tuned(cache, device, apertif()).config.accumulators >= 64
+
+    def test_gk110_lighter_on_lofar(self, cache):
+        # Sec. V-A: "the optimal register configuration ... is 25x4 in the
+        # Apertif setup, and 25x2 in the LOFAR setup".
+        for device in (k20(), gtx_titan()):
+            assert (
+                tuned(cache, device, lofar()).config.accumulators
+                < tuned(cache, device, apertif()).config.accumulators
+            )
+
+    def test_lofar_dm_elements_smaller(self, cache):
+        # Less reuse available => shallower DM tiling per work-item.
+        for device in (k20(), gtx_titan()):
+            assert (
+                tuned(cache, device, lofar()).config.elements_dm
+                <= tuned(cache, device, apertif()).config.elements_dm
+            )
+
+
+class TestFigs8to10OptimumStatistics:
+    def test_snr_in_2_to_4_band(self, cache):
+        # Sec. VII: "an average signal-to-noise ratio of 2-4".
+        snrs = [
+            OptimumStatistics.from_population(
+                cache.sweep(d, setup, N_DMS).population_gflops
+            ).snr
+            for d in paper_accelerators()
+            for setup in (apertif(), lofar())
+        ]
+        average = sum(snrs) / len(snrs)
+        assert 1.8 < average < 4.5
+        assert all(0.8 < s < 6.0 for s in snrs)
+
+    def test_chebyshev_5_to_39_percent(self, cache):
+        # Sec. V-B: guessing the optimum is <39% likely at best, <5% at
+        # worst.
+        bounds = [
+            OptimumStatistics.from_population(
+                cache.sweep(d, setup, N_DMS).population_gflops
+            ).chebyshev_bound
+            for d in paper_accelerators()
+            for setup in (apertif(), lofar())
+        ]
+        assert min(bounds) < 0.15
+        assert max(bounds) < 0.75
+
+    def test_optimum_far_from_typical(self, cache):
+        # Fig. 10: "the optimum lies far from the typical configuration".
+        sweep = cache.sweep(hd7970(), apertif(), N_DMS)
+        stats = OptimumStatistics.from_population(sweep.population_gflops)
+        assert stats.best_gflops > 1.4 * stats.median_gflops
+        # And over the full device set the typical gap is larger still.
+        gaps = [
+            OptimumStatistics.from_population(
+                cache.sweep(d, apertif(), N_DMS).population_gflops
+            )
+            for d in paper_accelerators()
+        ]
+        assert max(g.best_gflops / g.median_gflops for g in gaps) > 2.0
+
+
+class TestFigs11and12ZeroDM:
+    def test_apertif_unchanged(self, cache):
+        # Sec. V-C: "the difference ... negligible" for Apertif.
+        for device in paper_accelerators():
+            real = tuned(cache, device, apertif()).gflops
+            zero = tuned(cache, device, apertif(), zero_dm=True).gflops
+            assert zero == pytest.approx(real, rel=0.10)
+
+    def test_lofar_rises_to_apertif_levels(self, cache):
+        # Sec. V-C: LOFAR 0-DM results are "higher and in line with the
+        # measurements of the Apertif setup".
+        for device in paper_accelerators():
+            zero = tuned(cache, device, lofar(), zero_dm=True).gflops
+            apertif_level = tuned(cache, device, apertif()).gflops
+            assert zero == pytest.approx(apertif_level, rel=0.20)
+            assert zero > tuned(cache, device, lofar()).gflops
+
+
+class TestFigs13and14FixedConfigSpeedup:
+    INSTANCES = (2, 8, 64, 512, 1024)
+
+    def _speedup(self, cache, device, setup):
+        sweeps = {
+            n: cache.sweep(device, setup, n) for n in self.INSTANCES
+        }
+        fixed = best_fixed_configuration(sweeps)
+        tuned_series = {n: sweeps[n].best.gflops for n in self.INSTANCES}
+        return fixed.speedup_of_tuned(tuned_series)
+
+    def test_apertif_gpus_around_3x(self, cache):
+        # Sec. V-D: "tuned optimums are 3 times faster than fixed
+        # configurations for all GPUs" on Apertif.
+        for device in (hd7970(), gtx680(), k20(), gtx_titan()):
+            speedup = self._speedup(cache, device, apertif())[1024]
+            assert 1.5 < speedup < 5.0
+
+    def test_phi_gain_less_pronounced(self, cache):
+        # Sec. V-D: "the gain in performance for the Xeon Phi is less
+        # pronounced".
+        phi = self._speedup(cache, xeon_phi_5110p(), apertif())[1024]
+        amd = self._speedup(cache, hd7970(), apertif())[1024]
+        assert phi < amd
+
+    def test_lofar_speedups_smaller(self, cache):
+        # Sec. V-D: the LOFAR gain "is smaller than for Apertif".
+        for device in (hd7970(), gtx680(), k20(), gtx_titan()):
+            lofar_speedup = self._speedup(cache, device, lofar())[1024]
+            apertif_speedup = self._speedup(cache, device, apertif())[1024]
+            assert lofar_speedup < apertif_speedup
+            assert 1.0 <= lofar_speedup < 2.5
+
+    def test_tuned_never_loses(self, cache):
+        for device in paper_accelerators():
+            speedups = self._speedup(cache, device, apertif())
+            assert all(s >= 1.0 - 1e-9 for s in speedups.values())
+
+
+class TestFigs15and16CPUSpeedup:
+    def test_apertif_order_of_magnitude(self, cache):
+        # Fig. 15: HD7970 up to ~60x over the CPU.
+        cpu = CPUModel().simulate(apertif(), DMTrialGrid(N_DMS)).gflops
+        amd = tuned(cache, hd7970(), apertif()).gflops / cpu
+        assert 30 < amd < 90
+        for device in (gtx680(), k20(), gtx_titan()):
+            speedup = tuned(cache, device, apertif()).gflops / cpu
+            assert speedup > 10
+
+    def test_lofar_up_to_15x(self, cache):
+        # Fig. 16: LOFAR speedups peak around 12-14x.
+        cpu = CPUModel().simulate(lofar(), DMTrialGrid(N_DMS)).gflops
+        best = max(
+            tuned(cache, d, lofar()).gflops for d in paper_accelerators()
+        )
+        assert 8 < best / cpu < 25
+
+    def test_every_accelerator_beats_cpu(self, cache):
+        # Sec. V-D: "considerably faster than the CPU implementation in
+        # both observational setups".
+        for setup in (apertif(), lofar()):
+            cpu = CPUModel().simulate(setup, DMTrialGrid(N_DMS)).gflops
+            for device in paper_accelerators():
+                assert tuned(cache, device, setup).gflops > 2 * cpu
+
+
+class TestRealtime:
+    def test_all_gpus_realtime_everywhere(self, cache):
+        # Sec. V-B: every tested instance is real-time "with the only
+        # exception represented by the Xeon Phi".
+        for setup in (apertif(), lofar()):
+            for n_dms in (2, 64, 1024, 4096):
+                for device in (hd7970(), gtx680(), k20(), gtx_titan()):
+                    achieved = tuned(cache, device, setup, n_dms).gflops
+                    assert achieved >= setup.realtime_gflops(n_dms)
+
+    def test_phi_fails_apertif_at_scale(self, cache):
+        achieved = tuned(cache, xeon_phi_5110p(), apertif(), 4096).gflops
+        assert achieved < apertif().realtime_gflops(4096)
+
+    def test_phi_ok_at_small_scale(self, cache):
+        achieved = tuned(cache, xeon_phi_5110p(), apertif(), 64).gflops
+        assert achieved >= apertif().realtime_gflops(64)
+
+
+class TestMemoryBoundClaim:
+    def test_lofar_memory_bound_on_gpus(self, cache):
+        # Sec. V: dedispersion is memory-bound wherever reuse is limited.
+        from repro.hardware.metrics import PerformanceBound
+
+        for device in (hd7970(), gtx680(), k20()):
+            metrics = tuned(cache, device, lofar()).metrics
+            assert metrics.bound is PerformanceBound.MEMORY
+
+    def test_ai_below_ridge_everywhere(self, cache):
+        # Even tuned kernels stay left of the roofline ridge on LOFAR.
+        for device in paper_accelerators():
+            metrics = tuned(cache, device, lofar()).metrics
+            assert metrics.arithmetic_intensity < device.machine_balance

@@ -1,0 +1,80 @@
+"""Unit tests for repro.opencl_sim.codegen — the run-time source generator."""
+
+import pytest
+
+from repro.core.config import KernelConfiguration
+from repro.errors import ValidationError
+from repro.opencl_sim.codegen import build_kernel, generate_kernel_source
+
+
+def config(wt=32, wd=2, et=4, ed=2) -> KernelConfiguration:
+    return KernelConfiguration(
+        work_items_time=wt, work_items_dm=wd, elements_time=et, elements_dm=ed
+    )
+
+
+class TestGeneratedSource:
+    def test_parameters_baked_as_defines(self):
+        src = generate_kernel_source(config(), channels=16, samples=400)
+        assert "#define WT 32" in src
+        assert "#define WD 2" in src
+        assert "#define ET 4" in src
+        assert "#define ED 2" in src
+        assert "#define NR_CHANNELS 16" in src
+        assert "#define NR_SAMPLES 400" in src
+
+    def test_one_accumulator_per_element(self):
+        c = config(et=5, ed=3)
+        src = generate_kernel_source(c, channels=8, samples=400)
+        assert src.count("acc_") >= 2 * c.accumulators  # declared + stored
+
+    def test_one_store_per_element(self):
+        c = config(et=4, ed=2)
+        src = generate_kernel_source(c, channels=8, samples=400)
+        assert src.count("output[") == c.accumulators
+
+    def test_staging_path_for_shared_tiles(self):
+        src = generate_kernel_source(config(wd=2), channels=8, samples=400)
+        assert "__local float staging" in src
+        assert src.count("barrier(CLK_LOCAL_MEM_FENCE)") == 2
+
+    def test_direct_path_for_single_dm_tiles(self):
+        src = generate_kernel_source(
+            config(wd=1, ed=1), channels=8, samples=400
+        )
+        assert "__local" not in src
+        assert "barrier" not in src
+
+    def test_staging_disabled_on_request(self):
+        src = generate_kernel_source(
+            config(wd=4), channels=8, samples=400, use_local_staging=False
+        )
+        assert "__local" not in src
+
+    def test_kernel_signature(self):
+        src = generate_kernel_source(config(), channels=8, samples=400)
+        assert "__kernel void dedisperse" in src
+        assert "restrict" in src
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValidationError):
+            generate_kernel_source(config(), channels=0, samples=400)
+
+    def test_deterministic(self):
+        a = generate_kernel_source(config(), channels=8, samples=400)
+        b = generate_kernel_source(config(), channels=8, samples=400)
+        assert a == b
+
+    def test_distinct_configs_distinct_source(self):
+        a = generate_kernel_source(config(et=2), channels=8, samples=400)
+        b = generate_kernel_source(config(et=4), channels=8, samples=400)
+        assert a != b
+
+
+class TestBuildKernel:
+    def test_kernel_carries_source_and_config(self):
+        kernel = build_kernel(config(), channels=8, samples=400)
+        assert kernel.config == config()
+        assert "__kernel" in kernel.source
+        assert kernel.channels == 8
+        assert kernel.samples == 400

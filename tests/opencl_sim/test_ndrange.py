@@ -1,0 +1,48 @@
+"""Unit tests for repro.opencl_sim.ndrange."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.opencl_sim.ndrange import NDRange
+
+
+class TestNDRange:
+    def test_group_counts(self):
+        ndr = NDRange(global_time=400, global_dm=8, tile_samples=100, tile_dms=4)
+        assert ndr.groups_time == 4
+        assert ndr.groups_dm == 2
+        assert ndr.n_work_groups == 8
+
+    def test_rejects_non_dividing_time(self):
+        with pytest.raises(ValidationError):
+            NDRange(global_time=401, global_dm=8, tile_samples=100, tile_dms=4)
+
+    def test_rejects_non_dividing_dm(self):
+        with pytest.raises(ValidationError):
+            NDRange(global_time=400, global_dm=9, tile_samples=100, tile_dms=4)
+
+    def test_work_groups_cover_space_exactly(self):
+        ndr = NDRange(global_time=300, global_dm=6, tile_samples=50, tile_dms=3)
+        covered = set()
+        for wg in ndr.work_groups():
+            for d in range(wg.dm_offset, wg.dm_offset + wg.tile_dms):
+                for t in range(
+                    wg.time_offset, wg.time_offset + wg.tile_samples, 50
+                ):
+                    covered.add((d, t))
+        assert len(covered) == ndr.groups_dm * 3 * ndr.groups_time
+
+    def test_dispatch_order_dm_major(self):
+        ndr = NDRange(global_time=200, global_dm=4, tile_samples=100, tile_dms=2)
+        order = [(wg.group_dm, wg.group_time) for wg in ndr.work_groups()]
+        assert order == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_offsets_match_indices(self):
+        ndr = NDRange(global_time=200, global_dm=4, tile_samples=100, tile_dms=2)
+        for wg in ndr.work_groups():
+            assert wg.time_offset == wg.group_time * 100
+            assert wg.dm_offset == wg.group_dm * 2
+
+    def test_single_work_group(self):
+        ndr = NDRange(global_time=64, global_dm=2, tile_samples=64, tile_dms=2)
+        assert ndr.n_work_groups == 1

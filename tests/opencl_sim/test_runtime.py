@@ -1,0 +1,86 @@
+"""Unit tests for repro.opencl_sim.runtime."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.hardware.catalog import hd7970
+from repro.opencl_sim.runtime import (
+    CommandQueue,
+    Context,
+    SimDevice,
+    SimPlatform,
+)
+
+
+@pytest.fixture
+def context():
+    return Context(SimDevice(hd7970()))
+
+
+class TestPlatformDiscovery:
+    def test_one_platform_per_vendor(self):
+        platforms = SimPlatform.discover()
+        assert {p.name for p in platforms} == {"AMD", "Intel", "NVIDIA"}
+
+    def test_nvidia_platform_has_three_gpus(self):
+        nvidia = next(
+            p for p in SimPlatform.discover() if p.name == "NVIDIA"
+        )
+        assert len(nvidia.devices) == 3
+
+    def test_device_info(self):
+        dev = SimDevice(hd7970())
+        assert dev.name == "HD7970"
+        assert dev.max_work_group_size == 256
+
+
+class TestBuffers:
+    def test_alloc_zeroed(self, context):
+        buf = context.alloc((4, 8))
+        assert buf.array.shape == (4, 8)
+        assert np.all(buf.array == 0)
+        assert buf.nbytes == 4 * 8 * 4
+
+    def test_write_read_roundtrip(self, context, rng):
+        data = rng.normal(size=(4, 8)).astype(np.float32)
+        buf = context.alloc((4, 8))
+        buf.write(data)
+        out = buf.read()
+        assert np.array_equal(out, data)
+        assert buf.host_transfers == 2
+
+    def test_read_returns_copy(self, context):
+        buf = context.alloc((2, 2))
+        out = buf.read()
+        out[0, 0] = 99
+        assert buf.array[0, 0] == 0
+
+    def test_write_shape_checked(self, context):
+        buf = context.alloc((2, 2))
+        with pytest.raises(ValidationError):
+            buf.write(np.zeros((3, 3), dtype=np.float32))
+
+    def test_allocated_bytes_accumulates(self, context):
+        context.alloc((10,))
+        context.alloc((10,))
+        assert context.allocated_bytes == 80
+
+
+class TestCommandQueue:
+    def test_enqueue_runs_and_records(self, context):
+        queue = CommandQueue(context)
+        ran = []
+        event = queue.enqueue("k", lambda: ran.append(1), simulated_seconds=0.5)
+        assert ran == [1]
+        assert event.wall_seconds >= 0
+        assert queue.total_simulated_seconds == 0.5
+
+    def test_events_in_order(self, context):
+        queue = CommandQueue(context)
+        queue.enqueue("a", lambda: None)
+        queue.enqueue("b", lambda: None)
+        assert [e.label for e in queue.events] == ["a", "b"]
+
+    def test_finish_is_noop(self, context):
+        CommandQueue(context).finish()

@@ -1,0 +1,92 @@
+"""Unit tests for repro.pipeline.fleet — heterogeneous fleet planning."""
+
+import pytest
+
+from repro.astro.dm_trials import DMTrialGrid
+from repro.astro.observation import apertif
+from repro.errors import PipelineError
+from repro.hardware.catalog import gtx_titan, hd7970, k20, xeon_phi_5110p
+from repro.pipeline.fleet import FleetDevice, plan_fleet
+
+
+GRID = DMTrialGrid(2000)
+SETUP = apertif()
+
+
+class TestPlanFleet:
+    def test_homogeneous_matches_section_vd(self):
+        # With only HD7970s available, the plan reduces to the paper's
+        # 50-GPU sizing.
+        plan = plan_fleet(
+            [FleetDevice(hd7970(), available=100)], SETUP, GRID, 450
+        )
+        assert plan.total_units == 50
+        assert plan.assignments[0].beams_per_unit == 9
+
+    def test_prefers_most_efficient_device(self):
+        inventory = [
+            FleetDevice(k20(), available=500, unit_cost=1.0),
+            FleetDevice(hd7970(), available=500, unit_cost=1.0),
+        ]
+        plan = plan_fleet(inventory, SETUP, GRID, 450)
+        # Equal cost: the HD7970 hosts more beams per unit, so it is used
+        # exclusively.
+        assert [a.device_name for a in plan.assignments] == ["HD7970"]
+
+    def test_cost_changes_the_mix(self):
+        inventory = [
+            FleetDevice(hd7970(), available=500, unit_cost=5.0),
+            FleetDevice(k20(), available=500, unit_cost=1.0),
+        ]
+        plan = plan_fleet(inventory, SETUP, GRID, 450)
+        # At 5x the price, 9-beams-per-HD7970 loses to 4-beams-per-K20.
+        assert plan.assignments[0].device_name == "K20"
+
+    def test_spills_to_second_type_when_supply_short(self):
+        inventory = [
+            FleetDevice(hd7970(), available=10),
+            FleetDevice(gtx_titan(), available=500),
+        ]
+        plan = plan_fleet(inventory, SETUP, GRID, 450)
+        names = [a.device_name for a in plan.assignments]
+        assert names[0] == "HD7970"
+        assert len(names) == 2
+        assert plan.beams_covered >= 450
+
+    def test_infeasible_inventory_raises(self):
+        with pytest.raises(PipelineError, match="covers only"):
+            plan_fleet(
+                [FleetDevice(hd7970(), available=2)], SETUP, GRID, 450
+            )
+
+    def test_too_slow_devices_skipped(self):
+        # The Phi cannot host one 4,096-DM Apertif beam in real time; with
+        # only Phis the plan is infeasible rather than wrong.
+        grid = DMTrialGrid(4096)
+        with pytest.raises(PipelineError):
+            plan_fleet(
+                [FleetDevice(xeon_phi_5110p(), available=10_000)],
+                SETUP,
+                grid,
+                10,
+            )
+
+    def test_empty_inventory_rejected(self):
+        with pytest.raises(PipelineError, match="empty"):
+            plan_fleet([], SETUP, GRID, 10)
+
+    def test_summary_lists_assignments(self):
+        plan = plan_fleet(
+            [FleetDevice(hd7970(), available=100)], SETUP, GRID, 90
+        )
+        text = plan.summary()
+        assert "HD7970" in text and "beams" in text
+
+    def test_cost_accounting(self):
+        plan = plan_fleet(
+            [FleetDevice(hd7970(), available=100, unit_cost=2.5)],
+            SETUP,
+            GRID,
+            90,
+        )
+        assert plan.total_cost == pytest.approx(plan.total_units * 2.5)

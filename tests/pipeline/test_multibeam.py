@@ -1,0 +1,70 @@
+"""Unit tests for repro.pipeline.multibeam."""
+
+import pytest
+
+from repro.astro.dm_trials import DMTrialGrid
+from repro.astro.observation import apertif
+from repro.errors import PipelineError
+from repro.hardware.catalog import hd7970, xeon_phi_5110p
+from repro.pipeline.multibeam import MultiBeamScheduler
+
+
+@pytest.fixture(scope="module")
+def scheduler():
+    return MultiBeamScheduler(hd7970(), apertif(), DMTrialGrid(2000))
+
+
+class TestScheduling:
+    def test_paper_sizing(self, scheduler):
+        # Sec. V-D: 9 beams per HD7970, 50 GPUs for 450 beams.
+        assignment = scheduler.assign(450)
+        assert assignment.beams_per_device == 9
+        assert assignment.devices_needed == 50
+
+    def test_seconds_per_beam_near_paper(self, scheduler):
+        # Paper: 2,000 DMs in 0.106 s on the HD7970.
+        assert scheduler.seconds_per_beam() == pytest.approx(0.106, abs=0.03)
+
+    def test_memory_per_beam_fits_reason(self, scheduler):
+        m = scheduler.memory_per_beam()
+        # input (~84 MB at 2,000 DMs) + output (160 MB).
+        assert 150 * 1024 ** 2 < m < 400 * 1024 ** 2
+
+    def test_one_beam_one_device(self, scheduler):
+        assert scheduler.assign(1).devices_needed == 1
+
+    def test_devices_scale_with_beams(self, scheduler):
+        assert (
+            scheduler.assign(900).devices_needed
+            == 2 * scheduler.assign(450).devices_needed
+        )
+
+    def test_memory_limit_can_bind(self):
+        tight = MultiBeamScheduler(
+            hd7970(),
+            apertif(),
+            DMTrialGrid(2000),
+            device_memory_bytes=300 * 1024 ** 2,
+        )
+        assignment = tight.assign(10)
+        assert assignment.limited_by == "memory"
+        assert assignment.beams_per_device == 1
+
+    def test_no_memory_for_one_beam_raises(self):
+        tiny = MultiBeamScheduler(
+            hd7970(),
+            apertif(),
+            DMTrialGrid(2000),
+            device_memory_bytes=1024,
+        )
+        with pytest.raises(PipelineError, match="B;"):
+            tiny.assign(1)
+
+    def test_too_slow_device_raises(self):
+        # The Phi cannot dedisperse 4,096 Apertif DMs in real time
+        # (Fig. 6: it sits below the real-time line).
+        slow = MultiBeamScheduler(
+            xeon_phi_5110p(), apertif(), DMTrialGrid(4096)
+        )
+        with pytest.raises(PipelineError, match="real time"):
+            slow.assign(1)

@@ -1,0 +1,96 @@
+"""Property-based tests for the dispersion-delay model (Eq. 1)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.astro.dispersion import (
+    delay_table,
+    dispersion_delay_seconds,
+    max_delay_samples,
+    reuse_span_samples,
+)
+from repro.astro.observation import ObservationSetup
+
+frequencies = st.floats(min_value=10.0, max_value=10_000.0)
+dms = st.floats(min_value=0.0, max_value=10_000.0)
+
+
+@st.composite
+def setups(draw):
+    """Arbitrary but physically sensible observational setups."""
+    return ObservationSetup(
+        name="prop",
+        channels=draw(st.integers(min_value=2, max_value=64)),
+        lowest_frequency=draw(st.floats(min_value=20.0, max_value=2000.0)),
+        channel_bandwidth=draw(st.floats(min_value=0.01, max_value=10.0)),
+        samples_per_second=draw(st.integers(min_value=10, max_value=100_000)),
+    )
+
+
+class TestDelayProperties:
+    @given(f=frequencies, dm=dms)
+    def test_delay_non_negative_below_reference(self, f, dm):
+        reference = f * 1.5
+        assert dispersion_delay_seconds(f, reference, dm) >= 0.0
+
+    @given(f=frequencies, dm1=dms, dm2=dms)
+    def test_monotone_in_dm(self, f, dm1, dm2):
+        reference = f + 100.0
+        lo, hi = sorted((dm1, dm2))
+        assert dispersion_delay_seconds(
+            f, reference, lo
+        ) <= dispersion_delay_seconds(f, reference, hi)
+
+    @given(f1=frequencies, f2=frequencies, dm=dms)
+    def test_monotone_in_frequency(self, f1, f2, dm):
+        reference = max(f1, f2) + 100.0
+        lo, hi = sorted((f1, f2))
+        assert dispersion_delay_seconds(
+            hi, reference, dm
+        ) <= dispersion_delay_seconds(lo, reference, dm)
+
+    @given(f=frequencies, dm=dms, a=st.floats(min_value=0.1, max_value=10.0))
+    def test_linearity_in_dm(self, f, dm, a):
+        reference = f + 50.0
+        k1 = dispersion_delay_seconds(f, reference, dm)
+        k2 = dispersion_delay_seconds(f, reference, a * dm)
+        assert np.isclose(k2, a * k1, rtol=1e-9, atol=1e-12)
+
+
+class TestDelayTableProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(setup=setups(), n_dms=st.integers(min_value=1, max_value=64))
+    def test_table_invariants(self, setup, n_dms):
+        values = np.arange(n_dms) * 0.25
+        table = delay_table(setup, values)
+        # Non-negative, zero first row, monotone along both axes.
+        assert np.all(table >= 0)
+        assert np.all(table[0] == 0)
+        assert np.all(np.diff(table, axis=0) >= 0)
+        assert np.all(np.diff(table, axis=1) <= 0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(setup=setups(), max_dm=st.floats(min_value=0.0, max_value=100.0))
+    def test_max_delay_bounds_table(self, setup, max_dm):
+        values = np.linspace(0.0, max_dm, 8)
+        table = delay_table(setup, values)
+        assert table.max() <= max_delay_samples(setup, max_dm)
+
+
+class TestSpanProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        setup=setups(),
+        dm_low=st.floats(min_value=0.0, max_value=50.0),
+        width1=st.floats(min_value=0.0, max_value=10.0),
+        width2=st.floats(min_value=0.0, max_value=10.0),
+    )
+    def test_span_monotone_in_interval_width(
+        self, setup, dm_low, width1, width2
+    ):
+        w_small, w_big = sorted((width1, width2))
+        small = reuse_span_samples(setup, dm_low, dm_low + w_small)
+        big = reuse_span_samples(setup, dm_low, dm_low + w_big)
+        assert np.all(big >= small)
+        assert np.all(small >= 0)

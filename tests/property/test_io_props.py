@@ -1,0 +1,97 @@
+"""Property-based tests for filterbank I/O and quantization."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.astro.filterbank import read_filterbank, write_filterbank
+from repro.astro.observation import ObservationSetup
+from repro.astro.quantization import quantize
+
+
+@st.composite
+def observations(draw):
+    """Random (setup, data) pairs."""
+    channels = draw(st.integers(min_value=1, max_value=16))
+    samples = draw(st.integers(min_value=1, max_value=200))
+    setup = ObservationSetup(
+        name="prop-io",
+        channels=channels,
+        lowest_frequency=draw(st.floats(min_value=50.0, max_value=2000.0)),
+        channel_bandwidth=draw(st.floats(min_value=0.01, max_value=5.0)),
+        samples_per_second=draw(st.integers(min_value=10, max_value=100_000)),
+    )
+    seed = draw(st.integers(min_value=0, max_value=2 ** 31))
+    data = (
+        np.random.default_rng(seed)
+        .normal(size=(channels, samples))
+        .astype(np.float32)
+    )
+    return setup, data
+
+
+class TestFilterbankProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(obs=observations())
+    def test_float32_roundtrip_bit_exact(self, obs, tmp_path_factory):
+        setup, data = obs
+        path = tmp_path_factory.mktemp("fil") / "prop.fil"
+        write_filterbank(path, data, setup, nbits=32)
+        header, loaded = read_filterbank(path)
+        assert header.nchans == setup.channels
+        np.testing.assert_array_equal(loaded, data)
+
+    @settings(max_examples=25, deadline=None)
+    @given(obs=observations())
+    def test_header_reconstructs_setup(self, obs, tmp_path_factory):
+        setup, data = obs
+        path = tmp_path_factory.mktemp("fil") / "prop.fil"
+        write_filterbank(path, data, setup)
+        header, _ = read_filterbank(path)
+        rebuilt = header.to_setup()
+        assert rebuilt.channels == setup.channels
+        np.testing.assert_allclose(
+            rebuilt.channel_frequencies,
+            setup.channel_frequencies,
+            atol=1e-6,
+            rtol=1e-9,
+        )
+
+
+class TestQuantizationProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2 ** 31),
+        n=st.integers(min_value=2, max_value=500),
+        nbits=st.sampled_from([1, 2, 4, 8]),
+        scale=st.floats(min_value=0.01, max_value=100.0),
+        offset=st.floats(min_value=-50.0, max_value=50.0),
+    )
+    def test_roundtrip_error_bounded(self, seed, n, nbits, scale, offset):
+        data = (
+            np.random.default_rng(seed).normal(size=n) * scale + offset
+        )
+        q = quantize(data, nbits=nbits)
+        recovered = q.dequantize()
+        # Errors bounded by one step inside the representable range.
+        inside = np.abs(data - data.mean()) <= 5.9 * max(data.std(), 1e-12)
+        assert np.all(np.abs(recovered - data)[inside] <= q.step * 1.01)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2 ** 31),
+        nbits=st.sampled_from([2, 4, 8]),
+    )
+    def test_codes_within_depth(self, seed, nbits):
+        data = np.random.default_rng(seed).normal(size=300)
+        q = quantize(data, nbits=nbits)
+        assert q.data.max() <= (1 << nbits) - 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2 ** 31))
+    def test_monotone_codes(self, seed):
+        # Quantisation preserves order (up to ties): a linear map plus
+        # rounding cannot invert sample order.
+        data = np.sort(np.random.default_rng(seed).normal(size=100))
+        q = quantize(data, nbits=8)
+        assert np.all(np.diff(q.data.astype(int)) >= 0)

@@ -1,0 +1,95 @@
+"""Property-based tests for persistence, portability, and rendering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.portability import performance_portability
+from repro.analysis.reporting import format_lineplot
+
+
+class TestPortabilityMetricProperties:
+    @settings(max_examples=100)
+    @given(
+        efficiencies=st.lists(
+            st.floats(min_value=0.001, max_value=1.0), min_size=1, max_size=10
+        )
+    )
+    def test_pp_bounded_by_extremes(self, efficiencies):
+        pp = performance_portability(efficiencies)
+        assert min(efficiencies) - 1e-12 <= pp <= max(efficiencies) + 1e-12
+
+    @settings(max_examples=100)
+    @given(
+        efficiencies=st.lists(
+            st.floats(min_value=0.001, max_value=1.0), min_size=1, max_size=10
+        ),
+        extra=st.floats(min_value=0.001, max_value=1.0),
+    )
+    def test_adding_a_weaker_platform_never_raises_pp(self, efficiencies, extra):
+        base = performance_portability(efficiencies)
+        if extra <= min(efficiencies):
+            assert performance_portability(efficiencies + [extra]) <= base + 1e-12
+
+    @settings(max_examples=50)
+    @given(
+        e=st.floats(min_value=0.001, max_value=1.0),
+        n=st.integers(min_value=1, max_value=10),
+    )
+    def test_uniform_efficiency_is_fixed_point(self, e, n):
+        assert performance_portability([e] * n) == pytest.approx(e, rel=1e-9)
+
+
+class TestLineplotRobustness:
+    @settings(max_examples=40)
+    @given(
+        n=st.integers(min_value=1, max_value=30),
+        n_series=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=2 ** 31),
+        height=st.integers(min_value=2, max_value=30),
+        width=st.integers(min_value=8, max_value=100),
+    )
+    def test_never_crashes_and_dimensions_hold(
+        self, n, n_series, seed, height, width
+    ):
+        rng = np.random.default_rng(seed)
+        series = {
+            f"s{i}": list(rng.uniform(0, 100, size=n)) for i in range(n_series)
+        }
+        text = format_lineplot(
+            "x", list(range(n)), series, height=height, width=width
+        )
+        lines = text.splitlines()
+        # height canvas rows + axis + label + legend
+        assert len(lines) == height + 3
+        for row in lines[:height]:
+            assert len(row) <= 12 + width
+
+    @settings(max_examples=20)
+    @given(seed=st.integers(min_value=0, max_value=2 ** 31))
+    def test_all_zero_series_renders(self, seed):
+        text = format_lineplot("x", [1, 2], {"z": [0.0, 0.0]})
+        assert "z" in text
+
+
+class TestSweepDocumentProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(n_dms=st.sampled_from([8, 16, 32]))
+    def test_roundtrip_preserves_population(self, n_dms, tmp_path_factory):
+        from repro.astro.dm_trials import DMTrialGrid
+        from repro.astro.observation import apertif
+        from repro.core.persistence import load_sweep, save_sweep
+        from repro.core.tuner import AutoTuner
+        from repro.hardware.catalog import hd7970
+
+        sweep = AutoTuner(hd7970(), apertif()).tune(DMTrialGrid(n_dms))
+        path = tmp_path_factory.mktemp("sweeps") / f"s{n_dms}.json"
+        save_sweep(sweep, path)
+        loaded = load_sweep(path)
+        assert loaded.n_configurations == sweep.n_configurations
+        np.testing.assert_allclose(
+            np.sort(loaded.population_gflops),
+            np.sort(sweep.population_gflops),
+            rtol=1e-9,
+        )

@@ -1,0 +1,69 @@
+"""Property-based tests for the optimum statistics."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.stats import (
+    OptimumStatistics,
+    chebyshev_probability_bound,
+    optimum_snr,
+    performance_histogram,
+)
+
+populations = arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=2, max_value=200),
+    elements=st.floats(min_value=0.001, max_value=1e4),
+)
+
+
+class TestSnrProperties:
+    @given(population=populations)
+    def test_snr_non_negative(self, population):
+        assert optimum_snr(population) >= 0.0
+
+    @given(population=populations, scale=st.floats(min_value=0.01, max_value=100.0))
+    def test_snr_scale_invariant(self, population, scale):
+        assume(np.std(population) > 1e-6 * np.max(np.abs(population)))
+        a = optimum_snr(population)
+        b = optimum_snr(population * scale)
+        assert np.isclose(a, b, rtol=1e-6, atol=1e-9)
+
+    @given(population=populations, shift=st.floats(min_value=0.0, max_value=1e4))
+    def test_snr_shift_invariant(self, population, shift):
+        assume(np.std(population) > 1e-6 * (np.max(np.abs(population)) + shift))
+        a = optimum_snr(population)
+        b = optimum_snr(population + shift)
+        assert np.isclose(a, b, rtol=1e-6, atol=1e-6)
+
+
+class TestChebyshevProperties:
+    @given(snr=st.floats(min_value=0.0, max_value=100.0))
+    def test_bound_is_probability(self, snr):
+        assert 0.0 <= chebyshev_probability_bound(snr) <= 1.0
+
+    @given(a=st.floats(min_value=0.1, max_value=50.0),
+           b=st.floats(min_value=0.1, max_value=50.0))
+    def test_bound_monotone(self, a, b):
+        lo, hi = sorted((a, b))
+        assert chebyshev_probability_bound(hi) <= chebyshev_probability_bound(lo)
+
+
+class TestStatisticsProperties:
+    @given(population=populations)
+    def test_ordering_of_moments(self, population):
+        stats = OptimumStatistics.from_population(population)
+        tol = 1e-12 * max(abs(stats.best_gflops), 1.0)
+        assert stats.best_gflops >= stats.mean_gflops - tol
+        assert stats.best_gflops >= stats.median_gflops - tol
+        assert stats.std_gflops >= 0.0
+
+    @settings(max_examples=50)
+    @given(population=populations, n_bins=st.integers(min_value=1, max_value=50))
+    def test_histogram_conserves_counts(self, population, n_bins):
+        counts, edges = performance_histogram(population, n_bins=n_bins)
+        assert counts.sum() == population.size
+        assert len(edges) == n_bins + 1
+        assert edges[0] == 0.0

@@ -1,0 +1,86 @@
+"""Property-based tests for the two-step (subband) dedispersion."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.astro.dm_trials import DMTrialGrid
+from repro.astro.observation import ObservationSetup
+from repro.core.subband import SubbandPlan
+
+
+@st.composite
+def subband_problems(draw):
+    """Random (setup, grid, plan) bundles with valid geometry."""
+    n_subbands = draw(st.sampled_from([1, 2, 4, 8]))
+    channels = n_subbands * draw(st.integers(min_value=1, max_value=4))
+    setup = ObservationSetup(
+        name="prop-sub",
+        channels=channels,
+        lowest_frequency=draw(st.floats(min_value=100.0, max_value=1500.0)),
+        channel_bandwidth=draw(st.floats(min_value=0.05, max_value=2.0)),
+        samples_per_second=draw(st.integers(min_value=50, max_value=1000)),
+    )
+    coarse_factor = draw(st.sampled_from([1, 2, 4]))
+    n_dms = coarse_factor * draw(st.integers(min_value=1, max_value=8))
+    grid = DMTrialGrid(
+        n_dms=n_dms,
+        step=draw(st.floats(min_value=0.1, max_value=2.0)),
+    )
+    return SubbandPlan(
+        setup=setup,
+        grid=grid,
+        n_subbands=n_subbands,
+        coarse_factor=coarse_factor,
+    )
+
+
+class TestSubbandProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(plan=subband_problems())
+    def test_effective_table_invariants(self, plan):
+        eff = plan.effective_delay_table
+        assert eff.shape == (plan.grid.n_dms, plan.setup.channels)
+        assert np.all(eff >= 0)
+        # Monotone in DM within every channel: coarser steps shift whole
+        # rows but never backwards.
+        assert np.all(np.diff(plan.subband_table, axis=0) >= 0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(plan=subband_problems())
+    def test_error_bounded_by_one_coarse_step_motion(self, plan):
+        from repro.astro.dispersion import delay_table
+
+        # The approximation can never be off by more than the delay motion
+        # of one coarse DM step (plus rounding slack).
+        step_motion = delay_table(
+            plan.setup, np.array([0.0, plan.coarse_grid.step])
+        )[1].max()
+        assert plan.max_delay_error_samples() <= step_motion + 2
+
+    @settings(max_examples=40, deadline=None)
+    @given(plan=subband_problems())
+    def test_flops_never_exceed_bruteforce_when_coarsened(self, plan):
+        s = plan.setup.samples_per_batch
+        brute = plan.grid.n_dms * s * plan.setup.channels
+        if plan.coarse_factor > 1 and plan.n_subbands < plan.setup.channels:
+            assert plan.flops(s) <= brute + plan.grid.n_dms * s * plan.n_subbands
+        assert plan.flops(s) > 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(plan=subband_problems(), seed=st.integers(min_value=0, max_value=2 ** 31))
+    def test_execution_equals_effective_table_bruteforce(self, plan, seed):
+        # The defining identity, over random geometry and data.
+        rng = np.random.default_rng(seed)
+        samples = min(plan.setup.samples_per_batch, 100)
+        t = samples + int(plan.effective_delay_table.max(initial=0))
+        data = rng.normal(size=(plan.setup.channels, t)).astype(np.float32)
+        out = plan.execute(data, samples=samples)
+
+        eff = plan.effective_delay_table
+        expected = np.zeros((plan.grid.n_dms, samples), dtype=np.float32)
+        for dm in range(plan.grid.n_dms):
+            for ch in range(plan.setup.channels):
+                start = int(eff[dm, ch])
+                expected[dm] += data[ch, start : start + samples]
+        np.testing.assert_allclose(out, expected, rtol=1e-4, atol=1e-4)

@@ -1,0 +1,108 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestDevices:
+    def test_prints_table1(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "HD7970" in out and "3788" in out
+
+
+class TestTune:
+    def test_tune_reports_optimum(self, capsys):
+        code = main(
+            ["tune", "--device", "GTX 680", "--setup", "lofar", "--dms", "64"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "optimum" in out
+        assert "real-time" in out
+        assert "GTX 680" in out
+
+    def test_zero_dm_flag(self, capsys):
+        assert main(
+            ["tune", "--device", "HD7970", "--dms", "32", "--zero-dm"]
+        ) == 0
+        assert "optimum" in capsys.readouterr().out
+
+    def test_unknown_device_fails_cleanly(self, capsys):
+        assert main(["tune", "--device", "RTX-4090", "--dms", "8"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_setup_fails_cleanly(self, capsys):
+        assert main(["tune", "--setup", "ska", "--dms", "8"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestExperiment:
+    def test_table1_by_id(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_rejects_unknown_id(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestDemo:
+    def test_demo_detects_pulsar(self, capsys):
+        assert main(["demo", "--dms", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "CORRECT" in out
+
+
+class TestDDPlan:
+    def test_prints_staged_plan(self, capsys):
+        assert main(["ddplan", "--setup", "apertif", "--max-dm", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "DDplan for Apertif" in out
+        assert "total:" in out
+
+    def test_unknown_setup_fails(self, capsys):
+        assert main(["ddplan", "--setup", "ska"]) == 2
+
+
+class TestSurvey:
+    def test_classifies_beams(self, capsys):
+        assert main(["survey", "--beams", "2", "--chunks", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "survey:" in out
+        assert "classified correctly" in out
+
+
+class TestExport:
+    def test_experiment_export(self, capsys, tmp_path):
+        assert main(
+            ["experiment", "table1", "--export", str(tmp_path)]
+        ) == 0
+        assert (tmp_path / "table1.csv").exists()
+        assert (tmp_path / "table1.json").exists()
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestTuneSaveLoad:
+    def test_save_then_load_roundtrip(self, capsys, tmp_path):
+        path = tmp_path / "sweep.json"
+        assert main(
+            ["tune", "--device", "HD7970", "--dms", "32", "--save", str(path)]
+        ) == 0
+        assert path.exists()
+        out_saved = capsys.readouterr().out
+
+        assert main(
+            ["tune", "--device", "HD7970", "--dms", "32", "--load", str(path)]
+        ) == 0
+        out_loaded = capsys.readouterr().out
+        # The loaded sweep reports the same optimum.
+        saved_line = [l for l in out_saved.splitlines() if "optimum:" in l]
+        loaded_line = [l for l in out_loaded.splitlines() if "optimum:" in l]
+        assert saved_line == loaded_line

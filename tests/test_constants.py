@@ -1,0 +1,76 @@
+"""Tests for the shared constants (the paper's fixed quantities)."""
+
+import pytest
+
+from repro.constants import (
+    BYTES_PER_SAMPLE,
+    DEFAULT_DM_FIRST,
+    DEFAULT_DM_STEP,
+    DISPERSION_CONSTANT,
+    DISPERSION_CONSTANT_PRECISE,
+    FLOP_PER_ELEMENT,
+    INPUT_INSTANCES,
+    NO_FMA_PEAK_FRACTION,
+)
+
+
+class TestPaperConstants:
+    def test_dispersion_constant_is_the_papers(self):
+        # Eq. 1 uses the rounded 4,150 MHz^2 pc^-1 cm^3 s.
+        assert DISPERSION_CONSTANT == 4150.0
+
+    def test_precise_constant_close_to_rounded(self):
+        assert DISPERSION_CONSTANT_PRECISE == pytest.approx(4150.0, rel=0.001)
+
+    def test_single_precision_samples(self):
+        # Sec. III-A: every element is a single-precision float.
+        assert BYTES_PER_SAMPLE == 4
+
+    def test_one_flop_per_element(self):
+        assert FLOP_PER_ELEMENT == 1
+
+    def test_no_fma_halves_peak(self):
+        # Sec. VI: no FMA "limits the theoretical upper bound to 50%".
+        assert NO_FMA_PEAK_FRACTION == 0.5
+
+    def test_twelve_power_of_two_instances(self):
+        # Sec. IV-A: "12 different input instances, each of them associated
+        # with a power of two between 2 and 4,096".
+        assert len(INPUT_INSTANCES) == 12
+        assert INPUT_INSTANCES[0] == 2
+        assert INPUT_INSTANCES[-1] == 4096
+        for a, b in zip(INPUT_INSTANCES, INPUT_INSTANCES[1:]):
+            assert b == 2 * a
+
+    def test_dm_grid_defaults(self):
+        # Sec. IV: first trial 0, step 0.25 pc/cm^3.
+        assert DEFAULT_DM_FIRST == 0.0
+        assert DEFAULT_DM_STEP == 0.25
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        from repro import errors
+
+        subclasses = [
+            errors.ValidationError,
+            errors.ConfigurationError,
+            errors.DeviceError,
+            errors.TuningError,
+            errors.PipelineError,
+            errors.ExperimentError,
+        ]
+        for cls in subclasses:
+            assert issubclass(cls, errors.ReproError)
+
+    def test_validation_error_is_value_error(self):
+        # Callers using plain `except ValueError` still catch it.
+        from repro.errors import ValidationError
+
+        assert issubclass(ValidationError, ValueError)
+
+    def test_single_except_catches_everything(self):
+        from repro.errors import ReproError, TuningError
+
+        with pytest.raises(ReproError):
+            raise TuningError("x")

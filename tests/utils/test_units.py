@@ -1,0 +1,28 @@
+"""Unit tests for repro.utils.units."""
+
+import pytest
+
+from repro.utils.units import gflops, gibibytes, mhz_to_hz, seconds_to_ms
+
+
+class TestGflops:
+    def test_simple(self):
+        assert gflops(2e9, 1.0) == pytest.approx(2.0)
+
+    def test_scales_with_time(self):
+        assert gflops(1e9, 0.5) == pytest.approx(2.0)
+
+    def test_rejects_zero_time(self):
+        with pytest.raises(ZeroDivisionError):
+            gflops(1.0, 0.0)
+
+
+class TestConversions:
+    def test_gibibytes(self):
+        assert gibibytes(1024 ** 3) == pytest.approx(1.0)
+
+    def test_mhz_to_hz(self):
+        assert mhz_to_hz(1420.0) == pytest.approx(1.42e9)
+
+    def test_seconds_to_ms(self):
+        assert seconds_to_ms(0.25) == pytest.approx(250.0)

@@ -1,0 +1,28 @@
+"""Calibration harness: tuned results vs paper targets (not shipped tests)."""
+import sys, time
+from repro import apertif, lofar, DMTrialGrid, AutoTuner, paper_accelerators
+from repro.hardware import CPUModel
+
+def sweep(n_dms=1024, zero_dm=False, top=1):
+    for setup in (apertif(), lofar()):
+        print(f"=== {setup.name}{' (0-DM)' if zero_dm else ''}  n_dms={n_dms}")
+        for dev in paper_accelerators():
+            grid = DMTrialGrid.zero_dm(n_dms) if zero_dm else DMTrialGrid(n_dms)
+            res = AutoTuner(dev, setup).tune(grid)
+            ranked = sorted(res.samples, key=lambda s: -s.gflops)[:top]
+            for b in ranked:
+                m = b.metrics
+                print(f"{dev.name:16s} {b.gflops:7.1f} GF/s  wi={b.config.work_items_per_group:5d} "
+                      f"({b.config.work_items_time}x{b.config.work_items_dm}) regs={b.config.accumulators:4d} "
+                      f"({b.config.elements_time}x{b.config.elements_dm}) {m.bound.value:7s} "
+                      f"reuse={m.reuse_factor:5.1f} occ={m.occupancy:.2f} staged={m.staged}")
+        cpu = CPUModel().simulate(setup, DMTrialGrid(n_dms))
+        print(f"{'CPU':16s} {cpu.gflops:7.1f} GF/s")
+
+if __name__ == "__main__":
+    t0=time.time()
+    n = int(sys.argv[1]) if len(sys.argv)>1 else 1024
+    zero = len(sys.argv)>2 and sys.argv[2]=='zero'
+    top = int(sys.argv[3]) if len(sys.argv)>3 else 1
+    sweep(n, zero, top)
+    print('elapsed', round(time.time()-t0,1))
