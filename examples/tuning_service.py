@@ -1,0 +1,86 @@
+"""Serve tuned configurations to concurrent clients from a shared cache.
+
+A production survey does not re-run the exhaustive sweep for every
+pipeline that needs a kernel configuration — it asks a long-lived tuning
+service.  This example runs :class:`repro.service.TuningService` through
+its whole repertoire:
+
+1. **Warm-up** — pre-tune a ladder of instances; each sweep after the
+   first is warm-started from its cached neighbour, so most of the
+   optimisation space is never simulated.
+2. **Concurrent clients** — eight threads hammer the service with
+   overlapping requests; the first request per instance triggers one
+   sweep, everyone else is deduplicated onto it or served from memory.
+3. **Restart** — a second service instance pointed at the same store
+   directory answers from disk without re-sweeping.
+4. **Stats** — the counter surface that makes all of the above visible.
+
+Run with::
+
+    python examples/tuning_service.py [store_dir]
+"""
+
+import random
+import sys
+import tempfile
+from concurrent.futures import ThreadPoolExecutor
+
+from repro import DMTrialGrid, apertif
+from repro.hardware.catalog import hd7970
+from repro.service import TuningService
+
+INSTANCES = (32, 64, 128, 256, 512)
+CLIENTS = 8
+REQUESTS_PER_CLIENT = 10
+
+
+def client(service: TuningService, client_id: int) -> float:
+    """One simulated pipeline worker; returns its slowest request."""
+    rng = random.Random(client_id)
+    device, setup = hd7970(), apertif()
+    slowest = 0.0
+    for _ in range(REQUESTS_PER_CLIENT):
+        n_dms = rng.choice(INSTANCES)
+        response = service.get(device, setup, DMTrialGrid(n_dms))
+        slowest = max(slowest, response.elapsed_s)
+    return slowest
+
+
+def main() -> int:
+    store_dir = sys.argv[1] if len(sys.argv) > 1 else None
+    scratch = None
+    if store_dir is None:
+        scratch = tempfile.TemporaryDirectory()
+        store_dir = scratch.name
+
+    device, setup = hd7970(), apertif()
+    with TuningService(store_dir=store_dir, max_workers=2) as service:
+        print("— warm-up (each sweep seeds the next) —")
+        for response in service.warm_up(device, setup, INSTANCES):
+            print(f"  {response.describe()}")
+
+        print(f"\n— {CLIENTS} concurrent clients —")
+        with ThreadPoolExecutor(max_workers=CLIENTS) as pool:
+            slowest = max(
+                pool.map(lambda i: client(service, i), range(CLIENTS))
+            )
+        print(f"  {CLIENTS * REQUESTS_PER_CLIENT} requests served; "
+              f"slowest {1e3 * slowest:.2f} ms")
+
+        print("\n— service statistics —")
+        print(service.snapshot().render())
+
+    print("\n— restart: a fresh service over the same store —")
+    with TuningService(store_dir=store_dir) as reborn:
+        response = reborn.get(device, setup, DMTrialGrid(max(INSTANCES)))
+        print(f"  {response.describe()}")
+        print(f"  sweeps executed after restart: "
+              f"{reborn.snapshot().sweeps}")
+
+    if scratch is not None:
+        scratch.cleanup()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,8 @@ Subcommands:
 * ``demo`` — end-to-end functional run: synthesize a dispersed pulsar,
   dedisperse it with the tuned kernel, and report the recovered DM.
 * ``ddplan`` — smearing-optimal staged DM plan for a setup.
+* ``service`` — run the concurrent tuning service against simulated
+  client traffic and print the cache/dedup/latency statistics.
 * ``survey`` — run the full multi-beam survey pipeline (RFI mitigation,
   tuned dedispersion, single-pulse + periodicity detection) on synthetic
   beams.
@@ -120,6 +122,68 @@ def _cmd_ddplan(args: argparse.Namespace) -> int:
         f"{plan.naive_trials(args.compare_step)} trials, under-resolves "
         "the low-DM stages)"
     )
+    return 0
+
+
+def _cmd_service(args: argparse.Namespace) -> int:
+    import random
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.service import TuningService
+
+    device = device_by_name(args.device)
+    setup = _setup_by_name(args.setup)
+    instances = []
+    for token in args.instances.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            instances.append(int(token))
+        except ValueError:
+            raise ReproError(
+                f"invalid instance {token!r} in --instances (expected integers)"
+            ) from None
+    if not instances:
+        raise ReproError("no instances given (use --instances N,N,...)")
+
+    service = TuningService(
+        store_dir=args.store or None,
+        max_workers=args.workers,
+        timeout_s=args.timeout,
+    )
+    with service:
+        if args.warm_up:
+            for response in service.warm_up(device, setup, instances):
+                print(f"warm-up  {response.describe()}")
+
+        def client(client_id: int) -> list:
+            rng = random.Random(client_id)
+            wanted = instances * args.requests
+            rng.shuffle(wanted)
+            return [service.get(device, setup, n) for n in wanted]
+
+        with ThreadPoolExecutor(max_workers=args.clients) as clients:
+            all_responses = [
+                response
+                for worker in clients.map(client, range(args.clients))
+                for response in worker
+            ]
+
+        print(
+            f"\n{args.clients} clients x {len(instances) * args.requests} "
+            f"requests against {device.name}/{setup.name}:"
+        )
+        for n in instances:
+            best = next(
+                r.best for r in all_responses if r.key.n_dms == n
+            )
+            print(
+                f"  {n:>6} DMs -> {best.config.describe()} "
+                f"{best.gflops:.1f} GFLOP/s"
+            )
+        print()
+        print(service.snapshot().render())
     return 0
 
 
@@ -265,6 +329,41 @@ def build_parser() -> argparse.ArgumentParser:
     ddplan.add_argument("--tolerance", type=float, default=1.25)
     ddplan.add_argument("--compare-step", type=float, default=0.25)
     ddplan.set_defaults(func=_cmd_ddplan)
+
+    service = sub.add_parser(
+        "service", help="concurrent tuning service with cache statistics"
+    )
+    service.add_argument("--device", default="HD7970")
+    service.add_argument("--setup", default="apertif")
+    service.add_argument(
+        "--instances", default="32,64,128,256",
+        help="comma-separated DM counts clients will request",
+    )
+    service.add_argument(
+        "--clients", type=int, default=4,
+        help="concurrent client threads",
+    )
+    service.add_argument(
+        "--requests", type=int, default=3,
+        help="requests per client per instance",
+    )
+    service.add_argument(
+        "--workers", type=int, default=2,
+        help="tuning worker threads",
+    )
+    service.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-request tuning budget in seconds before degrading",
+    )
+    service.add_argument(
+        "--store", metavar="DIR", default="",
+        help="directory for the persistent sweep tier",
+    )
+    service.add_argument(
+        "--warm-up", action="store_true",
+        help="pre-tune all instances before starting the clients",
+    )
+    service.set_defaults(func=_cmd_service)
 
     survey = sub.add_parser(
         "survey", help="full survey pipeline on synthetic beams"

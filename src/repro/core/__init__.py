@@ -21,9 +21,10 @@ from repro.core.stats import (
 )
 from repro.core.fixed import best_fixed_configuration, FixedConfigResult
 from repro.core.subband import SubbandPlan, dedisperse_subband
-from repro.core.persistence import load_sweep, save_sweep
+from repro.core.persistence import load_sweep, model_fingerprint, save_sweep
 from repro.core.heuristics import (
     HeuristicOutcome,
+    budgeted_tune,
     hill_climb,
     random_search,
     simulated_annealing,
@@ -54,9 +55,11 @@ __all__ = [
     "SubbandPlan",
     "dedisperse_subband",
     "HeuristicOutcome",
+    "budgeted_tune",
     "hill_climb",
     "random_search",
     "simulated_annealing",
     "load_sweep",
+    "model_fingerprint",
     "save_sweep",
 ]

@@ -222,6 +222,54 @@ def simulated_annealing(
     )
 
 
+def budgeted_tune(
+    device: DeviceSpec,
+    setup: ObservationSetup,
+    grid: DMTrialGrid,
+    budget: int = 48,
+    seed: int = 0,
+    samples: int | None = None,
+) -> HeuristicOutcome:
+    """Degradation strategy for the tuning service: probe, then refine.
+
+    Spends half the budget on uniform random probes of the meaningful
+    space and the rest on greedy best-neighbour ascent from the best
+    probe.  Cheaper than either :func:`random_search` (no refinement) or
+    :func:`hill_climb` (no global view) at the same budget, and fully
+    deterministic for a given ``seed`` — the property
+    :class:`repro.service.TuningService` needs when it degrades a timed
+    out or rejected request to a heuristic answer.
+    """
+    require_positive_int(budget, "budget")
+    evaluator = _make_evaluator(device, setup, grid, samples)
+    rng = random.Random(seed)
+    ceiling = min(budget, len(evaluator.configs))
+
+    n_probes = max(1, min(budget // 2, len(evaluator.configs)))
+    for config in rng.sample(evaluator.configs, n_probes):
+        evaluator.evaluate(config)
+
+    current = max(evaluator.cache.values(), key=lambda s: s.gflops)
+    improved = True
+    while improved and len(evaluator.cache) < ceiling:
+        improved = False
+        best_neighbour = None
+        for neighbour in _neighbours(current.config, evaluator):
+            if len(evaluator.cache) >= ceiling:
+                break
+            sample = evaluator.evaluate(neighbour)
+            if best_neighbour is None or sample.gflops > best_neighbour.gflops:
+                best_neighbour = sample
+        if best_neighbour is not None and best_neighbour.gflops > current.gflops:
+            current = best_neighbour
+            improved = True
+    return HeuristicOutcome(
+        result=evaluator.result(),
+        evaluations=len(evaluator.cache),
+        budget=budget,
+    )
+
+
 def hill_climb(
     device: DeviceSpec,
     setup: ObservationSetup,

@@ -10,11 +10,21 @@ Reloaded sweeps re-simulate each stored configuration through the local
 performance model, then *verify* the stored GFLOP/s against the fresh
 numbers — a drifted model (edited catalogue, changed code) is detected
 instead of silently trusted.
+
+Every document additionally carries a *model fingerprint*: a digest over
+the device specification, the observational setup, and the model revision
+that produced the sweep.  The fingerprint makes staleness detectable
+*before* the expensive re-simulation (and without it, for callers that
+load with ``verify=False``), and it is the cache-key ingredient the
+:mod:`repro.service` layer uses so an edited device catalogue invalidates
+cached sweeps instead of serving them.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+from dataclasses import asdict
 from pathlib import Path
 
 from repro.astro.dm_trials import DMTrialGrid
@@ -23,10 +33,41 @@ from repro.core.config import KernelConfiguration
 from repro.core.tuner import ConfigurationSample, TuningResult
 from repro.errors import TuningError, ValidationError
 from repro.hardware.catalog import device_by_name
+from repro.hardware.device import DeviceSpec
 from repro.hardware.model import PerformanceModel
 
 #: Format version written into every document.
-SCHEMA_VERSION: int = 1
+SCHEMA_VERSION: int = 2
+
+#: Schema versions :func:`load_sweep` still understands.  Version 1
+#: documents predate the model fingerprint and fall back to GFLOP/s
+#: re-verification only.
+SUPPORTED_SCHEMAS: tuple[int, ...] = (1, 2)
+
+#: Revision of the performance-model *code*.  Bump when the model's
+#: semantics change so that previously persisted sweeps (and service
+#: cache entries) stop matching even for identical catalogue entries.
+MODEL_REVISION: int = 1
+
+
+def model_fingerprint(device: DeviceSpec, setup: ObservationSetup) -> str:
+    """Digest of everything that determines a sweep's numbers.
+
+    Covers every field of the device specification (published *and*
+    calibrated), the observational setup, and :data:`MODEL_REVISION`.
+    Editing any of them — e.g. recalibrating ``issue_efficiency`` in the
+    catalogue — changes the fingerprint, which invalidates persisted
+    sweeps and service cache entries keyed on it.
+    """
+    payload = {
+        "model_revision": MODEL_REVISION,
+        "device": asdict(device),
+        "setup": asdict(setup),
+    }
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True, default=str).encode()
+    )
+    return digest.hexdigest()[:16]
 
 
 def _setup_by_name(name: str) -> ObservationSetup:
@@ -43,6 +84,7 @@ def sweep_to_document(result: TuningResult) -> dict:
     """Serialise a sweep to a JSON-ready dictionary."""
     return {
         "schema": SCHEMA_VERSION,
+        "fingerprint": model_fingerprint(result.device, result.setup),
         "device": result.device.name,
         "setup": result.setup.name,
         "grid": {
@@ -75,18 +117,29 @@ def load_sweep(
 ) -> TuningResult:
     """Load a sweep document and rebuild the :class:`TuningResult`.
 
-    With ``verify=True`` (default) every stored GFLOP/s is checked against
-    a fresh simulation; a mismatch beyond ``tolerance`` (relative) raises
-    :class:`TuningError` — the guard against loading sweeps produced by a
-    different model parameterisation.
+    With ``verify=True`` (default) the document's model fingerprint (when
+    present) is checked against the current catalogue/model first — a
+    cheap, early staleness test — and then every stored GFLOP/s is checked
+    against a fresh simulation; a mismatch beyond ``tolerance`` (relative)
+    raises :class:`TuningError` — the guard against loading sweeps
+    produced by a different model parameterisation.
     """
     document = json.loads(Path(path).read_text())
-    if document.get("schema") != SCHEMA_VERSION:
+    if document.get("schema") not in SUPPORTED_SCHEMAS:
         raise ValidationError(
             f"unsupported sweep schema {document.get('schema')!r}"
         )
     device = device_by_name(document["device"])
     setup = _setup_by_name(document["setup"])
+    stored_fingerprint = document.get("fingerprint")
+    if verify and stored_fingerprint is not None:
+        current = model_fingerprint(device, setup)
+        if stored_fingerprint != current:
+            raise TuningError(
+                f"sweep at {path} was produced by a different model/"
+                f"catalogue (fingerprint {stored_fingerprint} != {current}); "
+                "re-tune instead of loading"
+            )
     grid_doc = document["grid"]
     grid = DMTrialGrid(
         n_dms=grid_doc["n_dms"],

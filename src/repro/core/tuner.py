@@ -11,12 +11,14 @@ so downstream analysis can compute the statistics of the optimum (Figs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 import numpy as np
 
 from repro.astro.dm_trials import DMTrialGrid
 from repro.astro.observation import ObservationSetup
 from repro.core.config import KernelConfiguration
+from repro.core.constraints import is_meaningful
 from repro.core.space import TuningSpace
 from repro.errors import TuningError
 from repro.hardware.device import DeviceSpec
@@ -117,21 +119,44 @@ class AutoTuner:
         self.setup = setup
         self.space_kwargs = dict(space_kwargs or {})
 
-    def tune(
-        self,
-        grid: DMTrialGrid,
-        samples: int | None = None,
-    ) -> TuningResult:
-        """Evaluate every meaningful configuration and return the sweep."""
+    def space(
+        self, grid: DMTrialGrid, samples: int | None = None
+    ) -> TuningSpace:
+        """The tuning space this tuner would sweep for ``grid``."""
         s = self.setup.samples_per_batch if samples is None else samples
-        space = TuningSpace(
+        return TuningSpace(
             device=self.device,
             setup=self.setup,
             grid=grid,
             samples=s,
             **self.space_kwargs,
         )
-        configs = space.meaningful()
+
+    def tune(
+        self,
+        grid: DMTrialGrid,
+        samples: int | None = None,
+        candidates: Iterable[KernelConfiguration] | None = None,
+    ) -> TuningResult:
+        """Evaluate every meaningful configuration and return the sweep.
+
+        With ``candidates`` the sweep is restricted to the given
+        configurations (duplicates dropped, non-meaningful ones filtered
+        out) instead of the full enumerated space — the hook warm-start
+        tuning uses to sweep a pruned neighbourhood of a known optimum.
+        """
+        s = self.setup.samples_per_batch if samples is None else samples
+        if candidates is None:
+            configs = self.space(grid, s).meaningful()
+        else:
+            seen: set[KernelConfiguration] = set()
+            configs = []
+            for c in candidates:
+                if c in seen:
+                    continue
+                seen.add(c)
+                if is_meaningful(c, self.device, self.setup, grid, s):
+                    configs.append(c)
         if not configs:
             raise TuningError(
                 f"search space is empty for {self.device.name}/"

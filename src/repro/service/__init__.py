@@ -1,0 +1,34 @@
+"""A concurrent tuning service with a multi-tier sweep cache.
+
+The paper's auto-tuner is an offline exhaustive sweep per (device, setup,
+DM-count) instance; production surveys tune once and reuse the result for
+months (Sclocco et al., arXiv:1601.01165).  This package is the serving
+layer that makes reuse automatic: a thread-safe, in-process
+:class:`TuningService` fronting :class:`~repro.core.tuner.AutoTuner` with
+an in-memory LRU over the on-disk JSON store, in-flight request
+deduplication, warm-start tuning seeded from neighbouring instances, and
+graceful degradation to budgeted heuristics under load.
+"""
+
+from repro.service.cache import DiskSweepStore, SweepLRUCache
+from repro.service.keys import InstanceKey
+from repro.service.service import ServiceResponse, TuningService
+from repro.service.stats import ServiceStats, StatsSnapshot
+from repro.service.warmstart import (
+    WarmStartReport,
+    pruned_candidates,
+    warm_start_tune,
+)
+
+__all__ = [
+    "DiskSweepStore",
+    "InstanceKey",
+    "ServiceResponse",
+    "ServiceStats",
+    "StatsSnapshot",
+    "SweepLRUCache",
+    "TuningService",
+    "WarmStartReport",
+    "pruned_candidates",
+    "warm_start_tune",
+]

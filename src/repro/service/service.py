@@ -1,0 +1,376 @@
+"""The concurrent tuning service.
+
+:class:`TuningService` is a long-lived, thread-safe front to
+:class:`~repro.core.tuner.AutoTuner` for deployments where many clients
+request tuned configurations for overlapping problem instances.  The
+request path, in order:
+
+1. **Memory tier** — an LRU of complete sweeps; hits cost microseconds.
+2. **Disk tier** — persisted JSON sweeps (optional); a hit re-simulates,
+   verifies, and promotes the sweep into memory.
+3. **In-flight deduplication** — N concurrent requests for the same
+   instance share one sweep; followers just wait on the leader's future.
+4. **Admission control** — sweeps run on a bounded worker pool behind a
+   bounded queue.  A request that cannot even queue degrades immediately.
+5. **Warm start** — a sweep seeded by the nearest cached neighbour (same
+   device/setup/model, different DM count) prunes most of the space, with
+   a probe guard that falls back to the exhaustive sweep when refuted.
+6. **Degradation** — when the tuning budget is exhausted (timeout or
+   admission rejection) the caller gets a deterministic budgeted
+   heuristic answer (:func:`repro.core.heuristics.budgeted_tune`),
+   flagged ``degraded`` and never cached; the authoritative sweep, if one
+   is running, still completes in the background and lands in the cache.
+
+Every step is metered through :class:`~repro.service.stats.ServiceStats`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.astro.dm_trials import DMTrialGrid
+from repro.astro.observation import ObservationSetup
+from repro.core.heuristics import budgeted_tune
+from repro.core.tuner import AutoTuner, ConfigurationSample, TuningResult
+from repro.errors import PipelineError
+from repro.hardware.device import DeviceSpec
+from repro.service.cache import DiskSweepStore, SweepLRUCache
+from repro.service.keys import InstanceKey
+from repro.service.stats import ServiceStats, StatsSnapshot
+from repro.service.warmstart import warm_start_tune
+
+#: Factory signature the service uses to build tuners (injectable so
+#: tests can count or stall sweeps without monkey-patching).
+TunerFactory = Callable[[DeviceSpec, ObservationSetup, dict], AutoTuner]
+
+#: Sentinel distinguishing "no per-request timeout" from "use default".
+_USE_DEFAULT = object()
+
+
+@dataclass(frozen=True)
+class ServiceResponse:
+    """One answered request: the sweep plus how it was produced.
+
+    ``source`` is one of ``memory``, ``disk``, ``sweep``, ``warm``,
+    ``warm-fallback``, ``degraded-timeout``, ``degraded-admission``.
+    Degraded responses carry a heuristic (budget-bounded) result rather
+    than the exhaustive optimum.
+    """
+
+    key: InstanceKey
+    result: TuningResult
+    source: str
+    elapsed_s: float
+    degraded: bool = False
+
+    @property
+    def best(self) -> ConfigurationSample:
+        """The optimal configuration sample of this response."""
+        return self.result.best
+
+    def describe(self) -> str:
+        """One-line summary for logs and CLI output."""
+        flag = " DEGRADED" if self.degraded else ""
+        return (
+            f"{self.key.describe()} -> {self.best.config.describe()} "
+            f"{self.best.gflops:.1f} GFLOP/s "
+            f"[{self.source}{flag}, {1e3 * self.elapsed_s:.1f} ms]"
+        )
+
+
+class TuningService:
+    """Thread-safe tuning frontend with caching, dedup, and degradation.
+
+    Parameters
+    ----------
+    capacity:
+        Memory-tier LRU capacity (complete sweeps).
+    store_dir:
+        Directory for the persistent tier; ``None`` disables it.
+    max_workers:
+        Worker threads executing sweeps.
+    queue_limit:
+        Sweeps allowed to wait beyond the running ones; a request that
+        finds pool *and* queue full degrades immediately.
+    timeout_s:
+        Default per-request budget to wait for a sweep before degrading;
+        ``None`` waits indefinitely.
+    degraded_budget:
+        Model evaluations granted to the heuristic fallback.
+    warm_start:
+        Seed sweeps from the nearest cached neighbouring instance.
+    warm_radius / warm_top_k / warm_probes:
+        Pruning and guard knobs forwarded to
+        :func:`repro.service.warmstart.warm_start_tune`.
+    space_kwargs:
+        Extra :class:`~repro.core.space.TuningSpace` arguments forwarded
+        to every tuner.
+    tuner_factory:
+        Callable ``(device, setup, space_kwargs) -> AutoTuner``;
+        injectable for testing.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 128,
+        store_dir=None,
+        max_workers: int = 2,
+        queue_limit: int = 8,
+        timeout_s: float | None = None,
+        degraded_budget: int = 48,
+        warm_start: bool = True,
+        warm_radius: int = 2,
+        warm_top_k: int = 8,
+        warm_probes: int = 8,
+        space_kwargs: dict | None = None,
+        tuner_factory: TunerFactory | None = None,
+    ):
+        if max_workers < 1:
+            raise PipelineError("max_workers must be >= 1")
+        if queue_limit < 0:
+            raise PipelineError("queue_limit must be >= 0")
+        self.timeout_s = timeout_s
+        self.degraded_budget = degraded_budget
+        self.warm_start = warm_start
+        self.warm_radius = warm_radius
+        self.warm_top_k = warm_top_k
+        self.warm_probes = warm_probes
+        self.space_kwargs = dict(space_kwargs or {})
+        self._tuner_factory = tuner_factory or (
+            lambda device, setup, kwargs: AutoTuner(device, setup, kwargs)
+        )
+        self.cache = SweepLRUCache(capacity)
+        self.store = DiskSweepStore(store_dir) if store_dir else None
+        self.stats = ServiceStats()
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-tune"
+        )
+        self._admission = threading.BoundedSemaphore(max_workers + queue_limit)
+        self._inflight: dict[InstanceKey, Future] = {}
+        self._inflight_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def get(
+        self,
+        device: DeviceSpec,
+        setup: ObservationSetup,
+        grid: DMTrialGrid | int,
+        timeout_s: float | None | object = _USE_DEFAULT,
+    ) -> ServiceResponse:
+        """The tuned sweep for one instance, produced as cheaply as possible.
+
+        ``grid`` may be a full :class:`DMTrialGrid` or a bare DM count
+        (which uses the paper's default grid geometry).  ``timeout_s``
+        overrides the service default for this request only.
+        """
+        if self._closed:
+            raise PipelineError("TuningService is closed")
+        if isinstance(grid, int):
+            grid = DMTrialGrid(n_dms=grid)
+        budget = (
+            self.timeout_s if timeout_s is _USE_DEFAULT else timeout_s
+        )
+        key = InstanceKey.for_instance(device, setup, grid)
+        self.stats.incr("requests")
+        started = time.perf_counter()
+
+        cached = self.cache.get(key)
+        if cached is not None:
+            self.stats.incr("hits_memory")
+            return self._respond(key, cached, "memory", started)
+
+        if self.store is not None:
+            present = key in self.store
+            loaded = self.store.load(key) if present else None
+            if loaded is not None:
+                self.cache.put(key, loaded)
+                self.stats.incr("hits_disk")
+                return self._respond(key, loaded, "disk", started)
+            if present:
+                self.stats.incr("invalidations")
+
+        verdict, future = self._join_or_lead(key, device, setup, grid)
+        if verdict == "cached":
+            # The sweep we raced with completed between the cache check
+            # and the in-flight check; its result is already cached.
+            self.stats.incr("hits_memory")
+            return self._respond(key, self.cache.get(key), "memory", started)
+        self.stats.incr("misses")
+        if verdict == "rejected":  # admission control: pool and queue full
+            self.stats.incr("degraded_admission")
+            return self._degrade(key, device, setup, grid, "admission", started)
+        try:
+            result, source = future.result(timeout=budget)
+        except FutureTimeoutError:
+            self.stats.incr("degraded_timeout")
+            return self._degrade(key, device, setup, grid, "timeout", started)
+        return self._respond(key, result, source, started)
+
+    def warm_up(
+        self,
+        device: DeviceSpec,
+        setup: ObservationSetup,
+        instances,
+    ) -> list[ServiceResponse]:
+        """Pre-tune a series of instances (smallest first, so each sweep
+        can warm-start from the previous one)."""
+        return [
+            self.get(device, setup, n)
+            for n in sorted(instances, key=lambda g: (
+                g.n_dms if isinstance(g, DMTrialGrid) else g
+            ))
+        ]
+
+    def snapshot(self) -> StatsSnapshot:
+        """Current service counters."""
+        return self.stats.snapshot()
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting requests and (optionally) drain the pool."""
+        self._closed = True
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "TuningService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _respond(
+        self,
+        key: InstanceKey,
+        result: TuningResult,
+        source: str,
+        started: float,
+        degraded: bool = False,
+    ) -> ServiceResponse:
+        elapsed = time.perf_counter() - started
+        self.stats.record_latency(elapsed)
+        return ServiceResponse(
+            key=key,
+            result=result,
+            source=source,
+            elapsed_s=elapsed,
+            degraded=degraded,
+        )
+
+    def _join_or_lead(
+        self,
+        key: InstanceKey,
+        device: DeviceSpec,
+        setup: ObservationSetup,
+        grid: DMTrialGrid,
+    ) -> tuple[str, Future | None]:
+        """Join the in-flight sweep for ``key`` or start one.
+
+        Returns ``(verdict, future)`` where verdict is ``"join"`` (an
+        in-flight sweep exists), ``"lead"`` (a new sweep was submitted),
+        ``"cached"`` (a racing sweep finished between the caller's cache
+        check and here — the cache now holds the result), or
+        ``"rejected"`` (admission control refused: pool and queue full).
+
+        The cache re-check under the in-flight lock is what makes
+        "exactly one sweep per instance" airtight: a completing job
+        caches its result *before* removing its in-flight entry, so any
+        request that finds no in-flight entry here either finds the
+        cached result or is genuinely first.
+        """
+        with self._inflight_lock:
+            existing = self._inflight.get(key)
+            if existing is not None:
+                self.stats.incr("dedups")
+                return "join", existing
+            if self.cache.get(key) is not None:
+                return "cached", None
+            if not self._admission.acquire(blocking=False):
+                return "rejected", None
+            try:
+                future = self._pool.submit(
+                    self._tune_job, key, device, setup, grid
+                )
+            except BaseException:
+                self._admission.release()
+                raise
+            self._inflight[key] = future
+            return "lead", future
+
+    def _tune_job(
+        self,
+        key: InstanceKey,
+        device: DeviceSpec,
+        setup: ObservationSetup,
+        grid: DMTrialGrid,
+    ) -> tuple[TuningResult, str]:
+        """Worker-side sweep: warm-started when a neighbour is cached."""
+        try:
+            tuner = self._tuner_factory(device, setup, self.space_kwargs)
+            seed = (
+                self.cache.nearest_neighbor(key) if self.warm_start else None
+            )
+            if seed is not None:
+                report = warm_start_tune(
+                    tuner,
+                    grid,
+                    seed[1],
+                    radius=self.warm_radius,
+                    top_k=self.warm_top_k,
+                    probes=self.warm_probes,
+                )
+                self.stats.incr("warm_starts")
+                if report.fell_back:
+                    self.stats.incr("warm_fallbacks")
+                result = report.result
+                source = "warm-fallback" if report.fell_back else "warm"
+            else:
+                result = tuner.tune(grid)
+                source = "sweep"
+            self.stats.incr("sweeps")
+            self.cache.put(key, result)
+            if self.store is not None:
+                self.store.save(key, result)
+            return result, source
+        finally:
+            # Order matters: the result is cached before the in-flight
+            # entry disappears, so late arrivals either join the future
+            # or hit the cache — never re-sweep.
+            with self._inflight_lock:
+                self._inflight.pop(key, None)
+            self._admission.release()
+
+    def _degrade(
+        self,
+        key: InstanceKey,
+        device: DeviceSpec,
+        setup: ObservationSetup,
+        grid: DMTrialGrid,
+        reason: str,
+        started: float,
+    ) -> ServiceResponse:
+        """Heuristic answer when the tuning budget is exhausted.
+
+        Runs on the *caller's* thread (it must not need pool capacity —
+        the pool being full is exactly why we are here) and is never
+        cached: if an authoritative sweep is still in flight it will
+        populate the cache when it completes.
+        """
+        outcome = budgeted_tune(
+            device, setup, grid, budget=self.degraded_budget
+        )
+        return self._respond(
+            key,
+            outcome.result,
+            f"degraded-{reason}",
+            started,
+            degraded=True,
+        )

@@ -1,0 +1,129 @@
+"""Observability surface of the tuning service.
+
+Every externally visible event of :class:`repro.service.TuningService` —
+cache hits per tier, misses, deduplicated waits, sweeps actually
+executed, warm starts and their fallbacks, degradations — increments a
+counter here, and every completed request records its latency.  The
+snapshot is immutable, so callers can diff two snapshots to meter an
+interval.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+
+def _percentile(ordered: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of an already sorted, non-empty list."""
+    rank = max(0, min(len(ordered) - 1, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+@dataclass(frozen=True)
+class StatsSnapshot:
+    """A consistent point-in-time copy of the service counters."""
+
+    hits_memory: int = 0
+    hits_disk: int = 0
+    misses: int = 0
+    dedups: int = 0
+    sweeps: int = 0
+    warm_starts: int = 0
+    warm_fallbacks: int = 0
+    degraded_timeout: int = 0
+    degraded_admission: int = 0
+    invalidations: int = 0
+    requests: int = 0
+    p50_latency_s: float = 0.0
+    p95_latency_s: float = 0.0
+
+    @property
+    def hits(self) -> int:
+        """Requests answered from either cache tier."""
+        return self.hits_memory + self.hits_disk
+
+    @property
+    def degradations(self) -> int:
+        """Requests answered heuristically instead of from a sweep."""
+        return self.degraded_timeout + self.degraded_admission
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests answered from cache (0 when idle)."""
+        return self.hits / self.requests if self.requests else 0.0
+
+    def render(self) -> str:
+        """Multi-line human-readable counter table."""
+        rows = [
+            ("requests", self.requests),
+            ("cache hits (memory)", self.hits_memory),
+            ("cache hits (disk)", self.hits_disk),
+            ("misses", self.misses),
+            ("deduplicated waits", self.dedups),
+            ("sweeps executed", self.sweeps),
+            ("warm starts", self.warm_starts),
+            ("warm-start fallbacks", self.warm_fallbacks),
+            ("degraded (timeout)", self.degraded_timeout),
+            ("degraded (admission)", self.degraded_admission),
+            ("stale entries invalidated", self.invalidations),
+        ]
+        width = max(len(label) for label, _ in rows)
+        lines = [f"{label:<{width}} : {value}" for label, value in rows]
+        lines.append(
+            f"{'hit rate':<{width}} : {100.0 * self.hit_rate:.1f}%"
+        )
+        lines.append(
+            f"{'latency p50/p95':<{width}} : "
+            f"{1e3 * self.p50_latency_s:.2f} / "
+            f"{1e3 * self.p95_latency_s:.2f} ms"
+        )
+        return "\n".join(lines)
+
+
+class ServiceStats:
+    """Thread-safe counters + a bounded latency reservoir."""
+
+    #: Counter names — must match the integer fields of StatsSnapshot.
+    COUNTERS: tuple[str, ...] = (
+        "hits_memory",
+        "hits_disk",
+        "misses",
+        "dedups",
+        "sweeps",
+        "warm_starts",
+        "warm_fallbacks",
+        "degraded_timeout",
+        "degraded_admission",
+        "invalidations",
+        "requests",
+    )
+
+    def __init__(self, latency_window: int = 2048):
+        self._lock = threading.Lock()
+        self._counters = {name: 0 for name in self.COUNTERS}
+        self._latencies: deque[float] = deque(maxlen=latency_window)
+
+    def incr(self, name: str, by: int = 1) -> None:
+        """Increment one named counter."""
+        if name not in self._counters:
+            raise KeyError(f"unknown counter {name!r}")
+        with self._lock:
+            self._counters[name] += by
+
+    def record_latency(self, seconds: float) -> None:
+        """Record one completed request's wall-clock latency."""
+        with self._lock:
+            self._latencies.append(float(seconds))
+
+    def snapshot(self) -> StatsSnapshot:
+        """An immutable, mutually consistent copy of all counters."""
+        with self._lock:
+            counters = dict(self._counters)
+            latencies = sorted(self._latencies)
+        p50 = _percentile(latencies, 0.50) if latencies else 0.0
+        p95 = _percentile(latencies, 0.95) if latencies else 0.0
+        return StatsSnapshot(
+            **counters, p50_latency_s=p50, p95_latency_s=p95
+        )

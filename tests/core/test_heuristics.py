@@ -132,3 +132,40 @@ class TestSimulatedAnnealing:
             simulated_annealing(
                 hd7970(), apertif(), GRID, initial_temperature=0.0
             )
+
+
+class TestBudgetedTune:
+    def test_respects_budget(self):
+        from repro.core.heuristics import budgeted_tune
+
+        outcome = budgeted_tune(hd7970(), apertif(), GRID, budget=24)
+        assert outcome.evaluations <= 24
+        assert outcome.best_gflops > 0
+
+    def test_deterministic_given_seed(self):
+        from repro.core.heuristics import budgeted_tune
+
+        a = budgeted_tune(hd7970(), apertif(), GRID, budget=20, seed=7)
+        b = budgeted_tune(hd7970(), apertif(), GRID, budget=20, seed=7)
+        assert a.best_gflops == b.best_gflops
+        assert {s.config for s in a.result.samples} == {
+            s.config for s in b.result.samples
+        }
+
+    def test_never_beats_exhaustive(self, exhaustive):
+        from repro.core.heuristics import budgeted_tune
+
+        outcome = budgeted_tune(hd7970(), apertif(), GRID, budget=40)
+        assert outcome.best_gflops <= exhaustive.best.gflops + 1e-9
+
+    def test_budget_larger_than_space_finds_optimum(self, exhaustive):
+        from repro.core.heuristics import budgeted_tune
+
+        outcome = budgeted_tune(hd7970(), apertif(), GRID, budget=10 ** 6)
+        assert outcome.best_gflops == pytest.approx(exhaustive.best.gflops)
+
+    def test_rejects_zero_budget(self):
+        from repro.core.heuristics import budgeted_tune
+
+        with pytest.raises(ValidationError):
+            budgeted_tune(hd7970(), apertif(), GRID, budget=0)

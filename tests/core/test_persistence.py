@@ -9,12 +9,13 @@ from repro.astro.observation import apertif
 from repro.core.persistence import (
     SCHEMA_VERSION,
     load_sweep,
+    model_fingerprint,
     save_sweep,
     sweep_to_document,
 )
 from repro.core.tuner import AutoTuner
 from repro.errors import TuningError, ValidationError
-from repro.hardware.catalog import hd7970
+from repro.hardware.catalog import gtx680, hd7970
 
 
 @pytest.fixture(scope="module")
@@ -81,3 +82,57 @@ class TestVerification:
         path.write_text(json.dumps(document))
         with pytest.raises(ValidationError, match="unknown setup"):
             load_sweep(path)
+
+
+class TestFingerprint:
+    def test_document_carries_fingerprint(self, sweep):
+        document = sweep_to_document(sweep)
+        assert document["fingerprint"] == model_fingerprint(
+            sweep.device, sweep.setup
+        )
+
+    def test_fingerprint_is_deterministic(self, sweep):
+        assert model_fingerprint(
+            sweep.device, sweep.setup
+        ) == model_fingerprint(sweep.device, sweep.setup)
+
+    def test_fingerprint_tracks_catalogue_edits(self, sweep):
+        import dataclasses
+
+        edited = dataclasses.replace(sweep.device, issue_efficiency=0.99)
+        assert model_fingerprint(
+            sweep.device, sweep.setup
+        ) != model_fingerprint(edited, sweep.setup)
+
+    def test_fingerprint_distinguishes_devices(self, sweep):
+        assert model_fingerprint(
+            hd7970(), sweep.setup
+        ) != model_fingerprint(gtx680(), sweep.setup)
+
+    def test_mismatched_fingerprint_rejected_on_load(self, sweep, tmp_path):
+        path = save_sweep(sweep, tmp_path / "sweep.json")
+        document = json.loads(path.read_text())
+        document["fingerprint"] = "0" * 16
+        path.write_text(json.dumps(document))
+        with pytest.raises(TuningError, match="fingerprint"):
+            load_sweep(path)
+
+    def test_mismatched_fingerprint_allowed_without_verify(
+        self, sweep, tmp_path
+    ):
+        path = save_sweep(sweep, tmp_path / "sweep.json")
+        document = json.loads(path.read_text())
+        document["fingerprint"] = "0" * 16
+        path.write_text(json.dumps(document))
+        loaded = load_sweep(path, verify=False)
+        assert loaded.best.config == sweep.best.config
+
+    def test_schema_one_documents_still_load(self, sweep, tmp_path):
+        # Pre-fingerprint documents fall back to GFLOP/s re-verification.
+        path = save_sweep(sweep, tmp_path / "sweep.json")
+        document = json.loads(path.read_text())
+        document["schema"] = 1
+        del document["fingerprint"]
+        path.write_text(json.dumps(document))
+        loaded = load_sweep(path)
+        assert loaded.best.config == sweep.best.config

@@ -53,6 +53,65 @@ class TestTune:
             )
 
 
+class TestCandidateRestriction:
+    def test_candidates_restrict_the_sweep(self, sweep):
+        tuner = AutoTuner(hd7970(), apertif())
+        subset = [s.config for s in sweep.samples[:5]]
+        restricted = tuner.tune(DMTrialGrid(64), candidates=subset)
+        assert restricted.n_configurations == 5
+        assert {s.config for s in restricted.samples} == set(subset)
+
+    def test_restricted_sweep_matches_full_sweep_numbers(self, sweep):
+        tuner = AutoTuner(hd7970(), apertif())
+        restricted = tuner.tune(
+            DMTrialGrid(64), candidates=[sweep.best.config]
+        )
+        assert restricted.best.config == sweep.best.config
+        assert restricted.best.gflops == pytest.approx(sweep.best.gflops)
+
+    def test_duplicates_are_dropped(self, sweep):
+        tuner = AutoTuner(hd7970(), apertif())
+        config = sweep.best.config
+        restricted = tuner.tune(
+            DMTrialGrid(64), candidates=[config, config, config]
+        )
+        assert restricted.n_configurations == 1
+
+    def test_non_meaningful_candidates_filtered(self, sweep):
+        from repro.core.config import KernelConfiguration
+
+        tuner = AutoTuner(hd7970(), apertif())
+        # 1024 work-items exceeds the HD7970's 256-work-item cap.
+        bogus = KernelConfiguration(1024, 1, 1, 1)
+        restricted = tuner.tune(
+            DMTrialGrid(64), candidates=[sweep.best.config, bogus]
+        )
+        assert restricted.n_configurations == 1
+
+    def test_all_filtered_raises(self):
+        from repro.core.config import KernelConfiguration
+
+        tuner = AutoTuner(hd7970(), apertif())
+        with pytest.raises(TuningError, match="empty"):
+            tuner.tune(
+                DMTrialGrid(64),
+                candidates=[KernelConfiguration(1024, 1, 1, 1)],
+            )
+
+    def test_empty_candidates_raises(self):
+        tuner = AutoTuner(hd7970(), apertif())
+        with pytest.raises(TuningError, match="empty"):
+            tuner.tune(DMTrialGrid(64), candidates=[])
+
+
+class TestSpaceAccessor:
+    def test_space_matches_tune_population(self, sweep):
+        tuner = AutoTuner(hd7970(), apertif())
+        configs = tuner.space(DMTrialGrid(64)).meaningful()
+        assert len(configs) == sweep.n_configurations
+        assert {s.config for s in sweep.samples} == set(configs)
+
+
 class TestTuneInstances:
     def test_series_of_instances(self):
         tuner = AutoTuner(hd7970(), apertif())

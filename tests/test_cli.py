@@ -38,6 +38,54 @@ class TestTune:
         assert "error" in capsys.readouterr().err
 
 
+class TestService:
+    def test_serves_concurrent_clients_and_prints_stats(self, capsys):
+        code = main([
+            "service",
+            "--instances", "16,32",
+            "--clients", "2",
+            "--requests", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sweeps executed" in out
+        assert "hit rate" in out
+        assert "16 DMs" in out and "32 DMs" in out
+
+    def test_warm_up_reports_each_instance(self, capsys):
+        code = main([
+            "service",
+            "--instances", "16,32",
+            "--clients", "1",
+            "--requests", "1",
+            "--warm-up",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "warm-up" in out
+        assert "[warm" in out  # the second instance warm-started
+
+    def test_store_dir_persists_sweeps(self, tmp_path, capsys):
+        argv = [
+            "service",
+            "--instances", "16",
+            "--clients", "1",
+            "--requests", "1",
+            "--store", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        import re
+
+        assert re.search(r"cache hits \(disk\)\s*: 1\b", out)
+
+    def test_rejects_empty_instances(self, capsys):
+        assert main(["service", "--instances", ""]) == 2
+        assert "error" in capsys.readouterr().err
+
+
 class TestExperiment:
     def test_table1_by_id(self, capsys):
         assert main(["experiment", "table1"]) == 0
