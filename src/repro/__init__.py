@@ -17,7 +17,19 @@ Quickstart::
                                 pulsars=[SyntheticPulsar(0.02, dm=8.0)],
                                 max_dm=grid.last)
     output, plan = dedisperse(data, setup, grid)
+
+``__all__`` below is the curated public surface (the blessed entry
+points; everything in it imports without warnings and is covered by
+``tests/test_public_api.py``).  A few historic top-level aliases —
+``hill_climb``, ``random_search``, ``CPUModel``, ``SubbandPlan``,
+``dedisperse_subband``, ``dedisperse_reference``,
+``best_fixed_configuration`` — still resolve via a module
+``__getattr__`` but emit :class:`DeprecationWarning`; import them from
+their home packages (``repro.core``, ``repro.hardware``) instead.
 """
+
+import importlib
+import warnings
 
 from repro.constants import (
     DISPERSION_CONSTANT,
@@ -59,7 +71,6 @@ from repro.hardware import (
     device_by_name,
     PerformanceModel,
     KernelMetrics,
-    CPUModel,
 )
 from repro.core import (
     KernelConfiguration,
@@ -67,23 +78,38 @@ from repro.core import (
     TuningResult,
     DedispersionPlan,
     dedisperse,
-    dedisperse_reference,
     OptimumStatistics,
-    best_fixed_configuration,
-    SubbandPlan,
-    dedisperse_subband,
-    hill_climb,
-    random_search,
+)
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    Span,
+    get_registry,
+    set_registry,
+    use_registry,
+    percentile,
+    span,
+)
+from repro.service import (
+    TuningService,
+    ServiceResponse,
+    ServiceStats,
+    StatsSnapshot,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
+#: The curated public surface.  Everything here is a blessed entry point:
+#: importable from ``repro`` without a deprecation warning, stable across
+#: minor versions, and asserted by ``tests/test_public_api.py``.
 __all__ = [
     "__version__",
+    # constants
     "DISPERSION_CONSTANT",
     "INPUT_INSTANCES",
     "DEFAULT_DM_FIRST",
     "DEFAULT_DM_STEP",
+    # errors
     "ReproError",
     "ValidationError",
     "ConfigurationError",
@@ -91,6 +117,7 @@ __all__ = [
     "TuningError",
     "PipelineError",
     "ExperimentError",
+    # astro substrate
     "ObservationSetup",
     "apertif",
     "lofar",
@@ -98,6 +125,10 @@ __all__ = [
     "SyntheticPulsar",
     "generate_observation",
     "detect_dm",
+    "build_ddplan",
+    "search_periodicity",
+    "zero_dm_filter",
+    # hardware catalogue + simulator
     "DeviceSpec",
     "hd7970",
     "xeon_phi_5110p",
@@ -110,20 +141,60 @@ __all__ = [
     "device_by_name",
     "PerformanceModel",
     "KernelMetrics",
-    "CPUModel",
+    # the paper's contribution
     "KernelConfiguration",
     "AutoTuner",
     "TuningResult",
     "DedispersionPlan",
     "dedisperse",
-    "dedisperse_reference",
     "OptimumStatistics",
-    "best_fixed_configuration",
-    "build_ddplan",
-    "search_periodicity",
-    "zero_dm_filter",
-    "SubbandPlan",
-    "dedisperse_subband",
-    "hill_climb",
-    "random_search",
+    # observability
+    "MetricsRegistry",
+    "Tracer",
+    "Span",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "percentile",
+    "span",
+    # serving layer
+    "TuningService",
+    "ServiceResponse",
+    "ServiceStats",
+    "StatsSnapshot",
 ]
+
+#: Deprecated top-level aliases -> (blessed home module, attribute).
+_DEPRECATED_ALIASES: dict[str, tuple[str, str]] = {
+    "hill_climb": ("repro.core.heuristics", "hill_climb"),
+    "random_search": ("repro.core.heuristics", "random_search"),
+    "dedisperse_reference": ("repro.core.dedisperse", "dedisperse_reference"),
+    "best_fixed_configuration": ("repro.core.fixed", "best_fixed_configuration"),
+    "SubbandPlan": ("repro.core.subband", "SubbandPlan"),
+    "dedisperse_subband": ("repro.core.subband", "dedisperse_subband"),
+    "CPUModel": ("repro.hardware.cpu_model", "CPUModel"),
+}
+
+_warned_aliases: set[str] = set()
+
+
+def __getattr__(name: str):
+    # Deprecation shims: old top-level import paths keep working but
+    # point the caller at the blessed home.
+    target = _DEPRECATED_ALIASES.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    module_name, attribute = target
+    if name not in _warned_aliases:
+        _warned_aliases.add(name)
+        warnings.warn(
+            f"importing {name!r} from the top-level 'repro' package is "
+            f"deprecated; use 'from {module_name} import {attribute}'",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    return getattr(importlib.import_module(module_name), attribute)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(__all__) | set(_DEPRECATED_ALIASES) | set(globals()))

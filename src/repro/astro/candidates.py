@@ -14,7 +14,7 @@ cluster (close in DM *and* overlapping in time) or seeds a new cluster.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

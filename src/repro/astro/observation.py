@@ -13,7 +13,7 @@ The paper evaluates two complementary setups (Sec. IV):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import cached_property
 
 import numpy as np

@@ -13,10 +13,13 @@ Subcommands:
   dedisperse it with the tuned kernel, and report the recovered DM.
 * ``ddplan`` — smearing-optimal staged DM plan for a setup.
 * ``service`` — run the concurrent tuning service against simulated
-  client traffic and print the cache/dedup/latency statistics.
+  client traffic and print the cache/dedup/latency statistics plus a
+  metrics-registry snapshot (persisted for ``repro obs``).
 * ``survey`` — run the full multi-beam survey pipeline (RFI mitigation,
   tuned dedispersion, single-pulse + periodicity detection) on synthetic
   beams.
+* ``obs`` — dump, export (Prometheus text / JSON lines / JSON), or reset
+  the observability snapshot accumulated by the other subcommands.
 """
 
 from __future__ import annotations
@@ -32,6 +35,18 @@ from repro.errors import ReproError
 from repro.hardware.catalog import device_by_name
 from repro.experiments import SweepCache, run_experiment
 from repro.experiments.registry import experiment_ids
+
+
+def _persist_obs(quiet: bool = False) -> None:
+    """Merge this process's metrics into the obs snapshot file."""
+    from repro.obs import get_registry, save_snapshot
+
+    registry = get_registry()
+    if not len(registry):
+        return
+    path = save_snapshot(registry)
+    if not quiet:
+        print(f"observability snapshot merged into {path}")
 
 
 def _setup_by_name(name: str) -> ObservationSetup:
@@ -184,6 +199,123 @@ def _cmd_service(args: argparse.Namespace) -> int:
             )
         print()
         print(service.snapshot().render())
+
+        if args.smoke:
+            _service_pipeline_smoke(service, device)
+
+    from repro.obs import get_registry, render_table
+
+    print("\nmetrics registry:")
+    print(render_table(get_registry()))
+    _persist_obs()
+    return 0
+
+
+def _service_pipeline_smoke(service, device) -> None:
+    """Run one tuned configuration end to end through the pipeline.
+
+    Proves the service's answer actually executes: a small synthetic
+    instance is tuned *through the service*, the resulting plan
+    dedisperses one chunk via the streaming pipeline, and the same
+    launch goes through the mini OpenCL runtime — so one ``repro
+    service`` run populates tuner, service, pipeline, and simulator
+    metrics for ``repro obs export``.
+    """
+    import numpy as np
+
+    from repro.astro.telescope import StreamChunk
+    from repro.core.plan import DedispersionPlan
+    from repro.opencl_sim import CommandQueue, Context, SimDevice
+    from repro.pipeline.streaming import StreamingDedispersion
+
+    setup = ObservationSetup(
+        name="obs-smoke",
+        channels=32,
+        lowest_frequency=138.0,
+        channel_bandwidth=0.2,
+        samples_per_second=1000,
+        samples_per_batch=1000,
+    )
+    grid = DMTrialGrid(n_dms=8, first=1.0, step=1.0)
+    response = service.get(device, setup, grid)
+    plan = DedispersionPlan.create(
+        setup, grid, device, config=response.best.config
+    )
+    overlap = int(plan.delays.max(initial=0))
+    rng = np.random.default_rng(0)
+    data = rng.normal(
+        size=(setup.channels, plan.samples + overlap)
+    ).astype(np.float32)
+    stream = StreamingDedispersion(plan)
+    result = stream.process(
+        StreamChunk(
+            beam_index=0, sequence=0, data=data,
+            samples=plan.samples, overlap=overlap,
+        )
+    )
+    context = Context(SimDevice(device))
+    queue = CommandQueue(context)
+    input_buffer = context.alloc(data.shape)
+    input_buffer.write(data)
+    output_buffer = context.alloc((grid.n_dms, plan.samples))
+    event = plan.enqueue(queue, input_buffer, output_buffer)
+    print(
+        f"\npipeline smoke: {response.source} config "
+        f"{response.best.config.describe()} processed 1 chunk "
+        f"({'real-time' if result.realtime else 'NOT real-time'}, "
+        f"modelled {1e3 * (event.simulated_seconds or 0):.2f} ms)"
+    )
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import (
+        default_snapshot_path,
+        get_registry,
+        load_snapshot,
+        registry_to_dict,
+        render_table,
+        to_jsonl,
+        to_prometheus,
+    )
+    from pathlib import Path
+
+    path = Path(args.input) if args.input else default_snapshot_path()
+
+    if args.action == "reset":
+        get_registry().reset()
+        if path.exists():
+            path.unlink()
+            print(f"removed {path}")
+        else:
+            print(f"no snapshot at {path}")
+        return 0
+
+    if path.exists():
+        registry = load_snapshot(path)
+    else:
+        # No persisted snapshot: fall back to this process's registry
+        # (usually empty — the snapshot is written by the other
+        # subcommands, e.g. `repro service`).
+        registry = get_registry()
+
+    if args.action == "dump":
+        print(render_table(registry))
+        return 0
+
+    # action == "export"
+    if args.format == "prom":
+        text = to_prometheus(registry)
+    elif args.format == "jsonl":
+        text = to_jsonl(registry)
+    else:
+        text = json.dumps(registry_to_dict(registry), indent=1) + "\n"
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text, end="")
     return 0
 
 
@@ -363,7 +495,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--warm-up", action="store_true",
         help="pre-tune all instances before starting the clients",
     )
-    service.set_defaults(func=_cmd_service)
+    service.add_argument(
+        "--no-smoke", dest="smoke", action="store_false",
+        help="skip the end-to-end pipeline smoke after the client traffic",
+    )
+    service.set_defaults(func=_cmd_service, smoke=True)
+
+    obs = sub.add_parser(
+        "obs", help="dump/export/reset the observability snapshot"
+    )
+    obs.add_argument(
+        "action", choices=["dump", "export", "reset"],
+        help="dump: human table; export: machine format; reset: clear",
+    )
+    obs.add_argument(
+        "--format", choices=["prom", "jsonl", "json"], default="prom",
+        help="export format (Prometheus text, JSON lines, JSON snapshot)",
+    )
+    obs.add_argument(
+        "--input", metavar="PATH", default="",
+        help="snapshot file (default: $REPRO_OBS_PATH or .repro-obs.json)",
+    )
+    obs.add_argument(
+        "--output", metavar="PATH", default="",
+        help="write the export to PATH instead of stdout",
+    )
+    obs.set_defaults(func=_cmd_obs)
 
     survey = sub.add_parser(
         "survey", help="full survey pipeline on synthetic beams"
@@ -391,6 +548,13 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe: not an error.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
 
 
 if __name__ == "__main__":

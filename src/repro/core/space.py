@@ -17,7 +17,7 @@ constraint checker prune the rest:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
 
 from repro.astro.dm_trials import DMTrialGrid

@@ -10,7 +10,7 @@ so downstream analysis can compute the statistics of the optimum (Figs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable
 
 import numpy as np
@@ -24,6 +24,7 @@ from repro.errors import TuningError
 from repro.hardware.device import DeviceSpec
 from repro.hardware.metrics import KernelMetrics
 from repro.hardware.model import PerformanceModel
+from repro.obs import get_registry, span
 
 
 @dataclass(frozen=True)
@@ -146,34 +147,52 @@ class AutoTuner:
         tuning uses to sweep a pruned neighbourhood of a known optimum.
         """
         s = self.setup.samples_per_batch if samples is None else samples
-        if candidates is None:
-            configs = self.space(grid, s).meaningful()
-        else:
-            seen: set[KernelConfiguration] = set()
-            configs = []
-            for c in candidates:
-                if c in seen:
-                    continue
-                seen.add(c)
-                if is_meaningful(c, self.device, self.setup, grid, s):
-                    configs.append(c)
-        if not configs:
-            raise TuningError(
-                f"search space is empty for {self.device.name}/"
-                f"{self.setup.name}/{grid.n_dms} DMs"
+        with span(
+            "tuner.sweep",
+            device=self.device.name,
+            setup=self.setup.name,
+            n_dms=grid.n_dms,
+        ) as sweep_span:
+            if candidates is None:
+                configs = self.space(grid, s).meaningful()
+            else:
+                seen: set[KernelConfiguration] = set()
+                configs = []
+                for c in candidates:
+                    if c in seen:
+                        continue
+                    seen.add(c)
+                    if is_meaningful(c, self.device, self.setup, grid, s):
+                        configs.append(c)
+            if not configs:
+                raise TuningError(
+                    f"search space is empty for {self.device.name}/"
+                    f"{self.setup.name}/{grid.n_dms} DMs"
+                )
+            model = PerformanceModel(self.device, self.setup, grid)
+            evaluated = tuple(
+                ConfigurationSample(
+                    config=c,
+                    metrics=(m := model.simulate(c, samples=s, validate=False)),
+                    gflops=m.gflops,
+                )
+                for c in configs
             )
-        model = PerformanceModel(self.device, self.setup, grid)
-        evaluated = tuple(
-            ConfigurationSample(
-                config=c,
-                metrics=(m := model.simulate(c, samples=s, validate=False)),
-                gflops=m.gflops,
+            result = TuningResult(
+                device=self.device, setup=self.setup, grid=grid,
+                samples=evaluated,
             )
-            for c in configs
-        )
-        return TuningResult(
-            device=self.device, setup=self.setup, grid=grid, samples=evaluated
-        )
+            sweep_span.attributes["n_configurations"] = len(evaluated)
+            registry = get_registry()
+            labels = {"device": self.device.name, "setup": self.setup.name}
+            registry.counter("repro_tuner_sweeps_total", **labels).inc()
+            registry.counter(
+                "repro_tuner_configs_evaluated_total", **labels
+            ).inc(len(evaluated))
+            registry.gauge("repro_tuner_best_gflops", **labels).set(
+                result.best.gflops
+            )
+            return result
 
     def tune_instances(
         self,

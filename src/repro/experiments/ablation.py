@@ -22,7 +22,6 @@ from repro.core.config import KernelConfiguration
 from repro.core.heuristics import hill_climb, random_search, simulated_annealing
 from repro.core.subband import SubbandPlan
 from repro.core.tuner import AutoTuner
-from repro.errors import ConfigurationError
 from repro.experiments.base import (
     ExperimentResult,
     SweepCache,

@@ -7,7 +7,6 @@ actually land (memory- vs compute-bound) on each device's roofline.
 
 from __future__ import annotations
 
-from typing import Sequence
 
 from repro.analysis.roofline import roofline_point
 from repro.core.ai import analyze_reuse

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.astro.dm_trials import DMTrialGrid
 from repro.astro.sensitivity import (
     half_power_dm_error,
     sensitivity_curve,

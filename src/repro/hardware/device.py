@@ -17,7 +17,7 @@ two groups:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import DeviceError
 from repro.utils.validation import (

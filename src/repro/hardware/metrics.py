@@ -70,3 +70,37 @@ class KernelMetrics:
             f"reuse {self.reuse_factor:.1f}x, occ {self.occupancy:.2f}) "
             f"[{self.config.describe()}]"
         )
+
+    def as_observations(self) -> dict[str, float]:
+        """This record as ``{metric name: value}`` observations.
+
+        The adapter between one simulated execution and the
+        :mod:`repro.obs` registry: names follow the repository metric
+        conventions, so callers can feed any registry directly::
+
+            for name, value in metrics.as_observations().items():
+                registry.gauge(name, device=metrics.device_name).set(value)
+
+        (Use :meth:`record_to` for exactly that loop.)
+        """
+        return {
+            "repro_kernel_gflops": self.gflops,
+            "repro_kernel_bandwidth_gbs": self.bandwidth_gbs,
+            "repro_kernel_arithmetic_intensity": self.arithmetic_intensity,
+            "repro_kernel_seconds": self.seconds,
+            "repro_kernel_occupancy": self.occupancy,
+            "repro_kernel_effective_occupancy": self.effective_occupancy,
+            "repro_kernel_utilization": self.utilization,
+            "repro_kernel_reuse_factor": self.reuse_factor,
+        }
+
+    def record_to(self, registry, **labels: object) -> None:
+        """Record every observation as a gauge of ``registry``.
+
+        ``labels`` extend the implicit ``device`` label (e.g. a setup
+        name); keep them low-cardinality per ``docs/observability.md``.
+        """
+        for name, value in self.as_observations().items():
+            registry.gauge(
+                name, device=self.device_name, **labels
+            ).set(value)

@@ -17,6 +17,7 @@ from repro.astro.observation import ObservationSetup
 from repro.core.config import KernelConfiguration
 from repro.hardware.device import DeviceSpec
 from repro.hardware.model import PerformanceModel
+from repro.obs.registry import percentile
 from repro.utils.validation import require_positive_int
 
 
@@ -46,6 +47,57 @@ class MultibeamMetrics:
         """Beams this device can host in real time with batching."""
         per_beam = self.seconds / self.n_beams
         return int(1.0 / per_beam) if per_beam < 1.0 else 0
+
+
+@dataclass(frozen=True)
+class MultibeamAggregate:
+    """Distribution of a batch sweep over several multi-beam launches.
+
+    Aggregation uses the repository's one shared nearest-rank
+    percentile (:func:`repro.obs.percentile`) — the same helper behind
+    service latency p50/p95 and histogram quantile export.
+    """
+
+    n_launches: int
+    p50_seconds: float
+    p95_seconds: float
+    p50_gflops: float
+    p95_gflops: float
+    mean_batching_speedup: float
+
+    @classmethod
+    def from_metrics(
+        cls, metrics: list[MultibeamMetrics] | tuple[MultibeamMetrics, ...]
+    ) -> "MultibeamAggregate":
+        """Summarise a non-empty collection of simulated launches."""
+        require_positive_int(len(metrics), "len(metrics)")
+        seconds = sorted(m.seconds for m in metrics)
+        gflops = sorted(m.gflops for m in metrics)
+        speedups = [m.batching_speedup for m in metrics]
+        return cls(
+            n_launches=len(metrics),
+            p50_seconds=percentile(seconds, 0.50),
+            p95_seconds=percentile(seconds, 0.95),
+            p50_gflops=percentile(gflops, 0.50),
+            p95_gflops=percentile(gflops, 0.95),
+            mean_batching_speedup=sum(speedups) / len(speedups),
+        )
+
+    def summary(self) -> str:
+        """One-line distribution report."""
+        return (
+            f"{self.n_launches} launches: "
+            f"p50/p95 {self.p50_seconds:.4f}/{self.p95_seconds:.4f} s, "
+            f"{self.p50_gflops:.1f}/{self.p95_gflops:.1f} GFLOP/s, "
+            f"batching x{self.mean_batching_speedup:.2f}"
+        )
+
+
+def aggregate_multibeam(
+    metrics: list[MultibeamMetrics] | tuple[MultibeamMetrics, ...],
+) -> MultibeamAggregate:
+    """Shared-helper aggregation over a batch of simulated launches."""
+    return MultibeamAggregate.from_metrics(metrics)
 
 
 def simulate_multibeam(

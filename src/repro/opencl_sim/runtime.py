@@ -11,13 +11,14 @@ from __future__ import annotations
 
 import itertools
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
 from repro.errors import ValidationError
 from repro.hardware.device import DeviceSpec
+from repro.obs import get_registry
 
 
 @dataclass(frozen=True)
@@ -130,7 +131,13 @@ class CommandQueue:
         fn: Callable[[], None],
         simulated_seconds: float | None = None,
     ) -> Event:
-        """Run ``fn`` now, recording an :class:`Event`."""
+        """Run ``fn`` now, recording an :class:`Event`.
+
+        Every launch also lands in the process-wide metrics registry:
+        ``repro_sim_kernel_launches_total{device,kernel}`` counts them
+        and ``repro_sim_modelled_seconds`` records the model-predicted
+        execution time (profiled launches only).
+        """
         start = time.perf_counter()
         fn()
         event = Event(
@@ -139,6 +146,15 @@ class CommandQueue:
             simulated_seconds=simulated_seconds,
         )
         self.events.append(event)
+        registry = get_registry()
+        device = self.context.device.name
+        registry.counter(
+            "repro_sim_kernel_launches_total", device=device, kernel=label
+        ).inc()
+        if simulated_seconds is not None:
+            registry.histogram(
+                "repro_sim_modelled_seconds", device=device, kernel=label
+            ).observe(simulated_seconds)
         return event
 
     def finish(self) -> None:

@@ -21,6 +21,7 @@ from repro.astro.dm_trials import DMTrialGrid
 from repro.astro.observation import ObservationSetup
 from repro.errors import PipelineError
 from repro.hardware.device import DeviceSpec
+from repro.obs import get_registry, span
 from repro.pipeline.multibeam import DEFAULT_DEVICE_MEMORY, MultiBeamScheduler
 from repro.utils.validation import require_positive, require_positive_int
 
@@ -105,6 +106,32 @@ def plan_fleet(
     if not inventory:
         raise PipelineError("fleet inventory is empty")
 
+    with span(
+        "pipeline.fleet_plan",
+        setup=setup.name,
+        n_dms=grid.n_dms,
+        n_beams=n_beams,
+    ):
+        plan = _plan_fleet(inventory, setup, grid, n_beams)
+    registry = get_registry()
+    registry.counter(
+        "repro_fleet_plans_total", setup=setup.name
+    ).inc()
+    registry.gauge("repro_fleet_units", setup=setup.name).set(
+        plan.total_units
+    )
+    registry.gauge("repro_fleet_cost", setup=setup.name).set(
+        plan.total_cost
+    )
+    return plan
+
+
+def _plan_fleet(
+    inventory: list[FleetDevice] | tuple[FleetDevice, ...],
+    setup: ObservationSetup,
+    grid: DMTrialGrid,
+    n_beams: int,
+) -> FleetPlan:
     capacities: list[tuple[float, FleetDevice, int]] = []
     for entry in inventory:
         scheduler = MultiBeamScheduler(

@@ -17,7 +17,6 @@ from repro.astro.dm_trials import DMTrialGrid
 from repro.astro.observation import ObservationSetup
 from repro.errors import PipelineError
 from repro.hardware.device import DeviceSpec
-from repro.hardware.model import PerformanceModel
 from repro.core.tuner import AutoTuner
 from repro.utils.intmath import ceil_div
 from repro.utils.validation import require_positive, require_positive_int

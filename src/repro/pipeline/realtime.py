@@ -20,6 +20,7 @@ from repro.core.tuner import AutoTuner
 from repro.hardware.catalog import hd7970, xeon_e5_2620
 from repro.hardware.cpu_model import CPUModel
 from repro.hardware.device import DeviceSpec
+from repro.obs import get_registry, span
 from repro.pipeline.multibeam import DEFAULT_DEVICE_MEMORY, MultiBeamScheduler
 from repro.utils.intmath import ceil_div
 from repro.utils.validation import require_positive_int
@@ -48,16 +49,26 @@ def realtime_report(
     grid: DMTrialGrid,
 ) -> RealtimeReport:
     """Tune the kernel and compare against the real-time line."""
-    best = AutoTuner(device, setup).tune(grid).best
-    required = setup.realtime_gflops(grid.n_dms)
-    return RealtimeReport(
-        device_name=device.name,
-        setup_name=setup.name,
-        n_dms=grid.n_dms,
-        achieved_gflops=best.gflops,
-        required_gflops=required,
-        realtime=best.gflops >= required,
-    )
+    with span(
+        "pipeline.realtime_check", device=device.name, n_dms=grid.n_dms
+    ):
+        best = AutoTuner(device, setup).tune(grid).best
+        required = setup.realtime_gflops(grid.n_dms)
+        report = RealtimeReport(
+            device_name=device.name,
+            setup_name=setup.name,
+            n_dms=grid.n_dms,
+            achieved_gflops=best.gflops,
+            required_gflops=required,
+            realtime=best.gflops >= required,
+        )
+    get_registry().gauge(
+        "repro_pipeline_realtime_margin",
+        stage="tuned-kernel",
+        device=device.name,
+        setup=setup.name,
+    ).set(report.margin)
+    return report
 
 
 @dataclass(frozen=True)

@@ -18,6 +18,7 @@ import numpy as np
 from repro.astro.telescope import StreamChunk
 from repro.core.plan import DedispersionPlan
 from repro.errors import PipelineError
+from repro.obs import get_registry, span
 
 
 @dataclass(frozen=True)
@@ -51,7 +52,12 @@ class StreamingDedispersion:
         return int(self.plan.delays.max(initial=0))
 
     def process(self, chunk: StreamChunk) -> ChunkResult:
-        """Dedisperse one chunk; returns its :class:`ChunkResult`."""
+        """Dedisperse one chunk; returns its :class:`ChunkResult`.
+
+        Each chunk is one ``pipeline.dedisperse`` span; the modelled
+        real-time margin (chunk seconds / predicted kernel seconds)
+        lands in the ``repro_pipeline_realtime_margin`` gauge.
+        """
         if chunk.samples != self.plan.samples:
             raise PipelineError(
                 f"chunk payload of {chunk.samples} samples does not match "
@@ -62,9 +68,25 @@ class StreamingDedispersion:
                 f"chunk overlap {chunk.overlap} < required maximum delay "
                 f"{self.max_delay}"
             )
-        output = self.plan.execute(chunk.data)
+        labels = {
+            "device": self.plan.device.name,
+            "setup": self.plan.setup.name,
+        }
+        with span(
+            "pipeline.dedisperse",
+            beam=chunk.beam_index,
+            sequence=chunk.sequence,
+            **labels,
+        ):
+            output = self.plan.execute(chunk.data)
         seconds = self.plan.predict().seconds
         self.processed += 1
+        registry = get_registry()
+        registry.counter("repro_pipeline_chunks_total", **labels).inc()
+        if seconds > 0.0:
+            registry.gauge(
+                "repro_pipeline_realtime_margin", stage="dedisperse", **labels
+            ).set(self._chunk_seconds / seconds)
         return ChunkResult(
             beam_index=chunk.beam_index,
             sequence=chunk.sequence,

@@ -9,7 +9,7 @@ candidates and real-time accounting into a :class:`SurveyReport`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -21,6 +21,7 @@ from repro.astro.telescope import Telescope
 from repro.core.plan import DedispersionPlan
 from repro.errors import PipelineError
 from repro.hardware.device import DeviceSpec
+from repro.obs import get_registry, span
 from repro.pipeline.streaming import StreamingDedispersion
 from repro.utils.validation import require_positive, require_positive_int
 
@@ -142,29 +143,45 @@ class SurveyPipeline:
         realtime = True
         series_accumulator: list[np.ndarray] = []
 
-        for chunk in self.telescope.stream(beam, n_chunks, self.grid):
-            data = chunk.data
-            if self.rfi_mitigation:
-                masked += mask_noisy_channels(data).n_masked
-                zero_dm_filter(data)
-            result = self._stream.process(chunk)
-            realtime &= result.realtime
-            detection = detect_dm(result.output, self.grid.values)
-            if detection.snr >= self.single_pulse_threshold and (
-                best_sp is None or detection.snr > best_sp.snr
-            ):
-                best_sp = detection
-            series_accumulator.append(result.output)
+        with span(
+            "pipeline.beam", beam=beam.label, setup=setup.name
+        ) as beam_span:
+            for chunk in self.telescope.stream(beam, n_chunks, self.grid):
+                data = chunk.data
+                if self.rfi_mitigation:
+                    with span("pipeline.rfi", beam=beam.label):
+                        masked += mask_noisy_channels(data).n_masked
+                        zero_dm_filter(data)
+                result = self._stream.process(chunk)
+                realtime &= result.realtime
+                with span("pipeline.single_pulse", beam=beam.label):
+                    detection = detect_dm(result.output, self.grid.values)
+                if detection.snr >= self.single_pulse_threshold and (
+                    best_sp is None or detection.snr > best_sp.snr
+                ):
+                    best_sp = detection
+                series_accumulator.append(result.output)
 
-        # Periodicity runs on the concatenated dedispersed series: longer
-        # baselines resolve lower frequencies and raise significance.
-        full = np.concatenate(series_accumulator, axis=1)
-        periodic = search_periodicity(
-            full,
-            self.grid.values,
-            setup.samples_per_second,
-            sigma_threshold=self.periodicity_threshold,
-        )
+            # Periodicity runs on the concatenated dedispersed series:
+            # longer baselines resolve lower frequencies and raise
+            # significance.
+            full = np.concatenate(series_accumulator, axis=1)
+            with span("pipeline.periodicity", beam=beam.label):
+                periodic = search_periodicity(
+                    full,
+                    self.grid.values,
+                    setup.samples_per_second,
+                    sigma_threshold=self.periodicity_threshold,
+                )
+            beam_span.attributes["realtime"] = realtime
+        registry = get_registry()
+        registry.counter(
+            "repro_pipeline_beams_total", setup=setup.name
+        ).inc()
+        if best_sp is not None or periodic:
+            registry.counter(
+                "repro_pipeline_candidates_total", setup=setup.name
+            ).inc()
         return BeamResult(
             beam_index=beam.index,
             beam_label=beam.label,

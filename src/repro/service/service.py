@@ -21,7 +21,10 @@ request path, in order:
    flagged ``degraded`` and never cached; the authoritative sweep, if one
    is running, still completes in the background and lands in the cache.
 
-Every step is metered through :class:`~repro.service.stats.ServiceStats`.
+Every step is metered through :class:`~repro.service.stats.ServiceStats`,
+which since the :mod:`repro.obs` consolidation is a view over
+``repro_service_*`` series of the process-wide metrics registry — so the
+same counters surface in ``repro obs export``.
 """
 
 from __future__ import annotations
@@ -39,6 +42,7 @@ from repro.core.heuristics import budgeted_tune
 from repro.core.tuner import AutoTuner, ConfigurationSample, TuningResult
 from repro.errors import PipelineError
 from repro.hardware.device import DeviceSpec
+from repro.obs import MetricsRegistry, span
 from repro.service.cache import DiskSweepStore, SweepLRUCache
 from repro.service.keys import InstanceKey
 from repro.service.stats import ServiceStats, StatsSnapshot
@@ -113,6 +117,9 @@ class TuningService:
     tuner_factory:
         Callable ``(device, setup, space_kwargs) -> AutoTuner``;
         injectable for testing.
+    registry:
+        The :class:`~repro.obs.MetricsRegistry` service metrics are
+        recorded into (default: the process-wide registry).
     """
 
     def __init__(
@@ -129,6 +136,7 @@ class TuningService:
         warm_probes: int = 8,
         space_kwargs: dict | None = None,
         tuner_factory: TunerFactory | None = None,
+        registry: MetricsRegistry | None = None,
     ):
         if max_workers < 1:
             raise PipelineError("max_workers must be >= 1")
@@ -146,7 +154,7 @@ class TuningService:
         )
         self.cache = SweepLRUCache(capacity)
         self.store = DiskSweepStore(store_dir) if store_dir else None
-        self.stats = ServiceStats()
+        self.stats = ServiceStats(registry=registry)
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-tune"
         )
@@ -314,32 +322,37 @@ class TuningService:
     ) -> tuple[TuningResult, str]:
         """Worker-side sweep: warm-started when a neighbour is cached."""
         try:
-            tuner = self._tuner_factory(device, setup, self.space_kwargs)
-            seed = (
-                self.cache.nearest_neighbor(key) if self.warm_start else None
-            )
-            if seed is not None:
-                report = warm_start_tune(
-                    tuner,
-                    grid,
-                    seed[1],
-                    radius=self.warm_radius,
-                    top_k=self.warm_top_k,
-                    probes=self.warm_probes,
+            with span(
+                "service.sweep", device=device.name, n_dms=grid.n_dms
+            ) as job_span:
+                tuner = self._tuner_factory(device, setup, self.space_kwargs)
+                seed = (
+                    self.cache.nearest_neighbor(key)
+                    if self.warm_start else None
                 )
-                self.stats.incr("warm_starts")
-                if report.fell_back:
-                    self.stats.incr("warm_fallbacks")
-                result = report.result
-                source = "warm-fallback" if report.fell_back else "warm"
-            else:
-                result = tuner.tune(grid)
-                source = "sweep"
-            self.stats.incr("sweeps")
-            self.cache.put(key, result)
-            if self.store is not None:
-                self.store.save(key, result)
-            return result, source
+                if seed is not None:
+                    report = warm_start_tune(
+                        tuner,
+                        grid,
+                        seed[1],
+                        radius=self.warm_radius,
+                        top_k=self.warm_top_k,
+                        probes=self.warm_probes,
+                    )
+                    self.stats.incr("warm_starts")
+                    if report.fell_back:
+                        self.stats.incr("warm_fallbacks")
+                    result = report.result
+                    source = "warm-fallback" if report.fell_back else "warm"
+                else:
+                    result = tuner.tune(grid)
+                    source = "sweep"
+                job_span.attributes["source"] = source
+                self.stats.incr("sweeps")
+                self.cache.put(key, result)
+                if self.store is not None:
+                    self.store.save(key, result)
+                return result, source
         finally:
             # Order matters: the result is cached before the in-flight
             # entry disappears, so late arrivals either join the future

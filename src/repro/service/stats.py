@@ -6,19 +6,47 @@ executed, warm starts and their fallbacks, degradations — increments a
 counter here, and every completed request records its latency.  The
 snapshot is immutable, so callers can diff two snapshots to meter an
 interval.
+
+Since the introduction of :mod:`repro.obs`, :class:`ServiceStats` is a
+*view* over registry-backed metrics rather than a private counter dict:
+each instance owns one ``instance``-labelled slice of the process-wide
+:class:`~repro.obs.MetricsRegistry` (``repro_service_*`` series), so the
+same numbers that back :meth:`snapshot` are visible to every exporter
+(``repro obs export``), while the legacy ``incr``/``record_latency``/
+``snapshot`` API is unchanged.
 """
 
 from __future__ import annotations
 
-import threading
-from collections import deque
+import itertools
+import warnings
 from dataclasses import dataclass
 
+from repro.obs.registry import MetricsRegistry, get_registry
 
-def _percentile(ordered: list[float], fraction: float) -> float:
-    """Nearest-rank percentile of an already sorted, non-empty list."""
-    rank = max(0, min(len(ordered) - 1, round(fraction * (len(ordered) - 1))))
-    return ordered[rank]
+#: Legacy counter name -> (registry metric family, fixed labels).
+_COUNTER_METRICS: dict[str, tuple[str, dict[str, str]]] = {
+    "hits_memory": ("repro_service_cache_hits_total", {"tier": "memory"}),
+    "hits_disk": ("repro_service_cache_hits_total", {"tier": "disk"}),
+    "misses": ("repro_service_cache_misses_total", {}),
+    "dedups": ("repro_service_dedup_waits_total", {}),
+    "sweeps": ("repro_service_sweeps_total", {}),
+    "warm_starts": ("repro_service_warm_starts_total", {}),
+    "warm_fallbacks": ("repro_service_warm_fallbacks_total", {}),
+    "degraded_timeout": ("repro_service_degraded_total", {"reason": "timeout"}),
+    "degraded_admission": (
+        "repro_service_degraded_total",
+        {"reason": "admission"},
+    ),
+    "invalidations": ("repro_service_invalidations_total", {}),
+    "requests": ("repro_service_requests_total", {}),
+}
+
+#: Registry histogram holding per-request wall-clock latencies.
+LATENCY_METRIC = "repro_service_request_latency_seconds"
+
+#: Distinguishes concurrently created ServiceStats slices in one process.
+_instance_ids = itertools.count()
 
 
 @dataclass(frozen=True)
@@ -83,47 +111,89 @@ class StatsSnapshot:
 
 
 class ServiceStats:
-    """Thread-safe counters + a bounded latency reservoir."""
+    """Registry-backed service counters plus a bounded latency reservoir.
+
+    Parameters
+    ----------
+    latency_window:
+        Explicit bound on the latency reservoir: percentiles are computed
+        over the most recent ``latency_window`` requests and memory never
+        grows past it, no matter how long the service runs between
+        snapshots (the histogram's exact ``count``/``sum`` totals are
+        still lifetime-accurate).
+    registry:
+        The :class:`~repro.obs.MetricsRegistry` to record into; defaults
+        to the process-wide registry, which is what makes the service
+        visible to ``repro obs export``.
+    instance:
+        Label isolating this service's series from other services in the
+        same process; auto-assigned (``svc0``, ``svc1``, ...) when omitted.
+    """
 
     #: Counter names — must match the integer fields of StatsSnapshot.
-    COUNTERS: tuple[str, ...] = (
-        "hits_memory",
-        "hits_disk",
-        "misses",
-        "dedups",
-        "sweeps",
-        "warm_starts",
-        "warm_fallbacks",
-        "degraded_timeout",
-        "degraded_admission",
-        "invalidations",
-        "requests",
-    )
+    COUNTERS: tuple[str, ...] = tuple(_COUNTER_METRICS)
 
-    def __init__(self, latency_window: int = 2048):
-        self._lock = threading.Lock()
-        self._counters = {name: 0 for name in self.COUNTERS}
-        self._latencies: deque[float] = deque(maxlen=latency_window)
+    def __init__(
+        self,
+        latency_window: int = 2048,
+        registry: MetricsRegistry | None = None,
+        instance: str | None = None,
+    ):
+        self.registry = registry if registry is not None else get_registry()
+        self.instance = (
+            instance if instance is not None else f"svc{next(_instance_ids)}"
+        )
+        self._counters = {
+            name: self.registry.counter(
+                metric, instance=self.instance, **labels
+            )
+            for name, (metric, labels) in _COUNTER_METRICS.items()
+        }
+        self._latency = self.registry.histogram(
+            LATENCY_METRIC, window=latency_window, instance=self.instance
+        )
 
     def incr(self, name: str, by: int = 1) -> None:
         """Increment one named counter."""
         if name not in self._counters:
             raise KeyError(f"unknown counter {name!r}")
-        with self._lock:
-            self._counters[name] += by
+        self._counters[name].inc(by)
 
     def record_latency(self, seconds: float) -> None:
         """Record one completed request's wall-clock latency."""
-        with self._lock:
-            self._latencies.append(float(seconds))
+        self._latency.observe(float(seconds))
 
     def snapshot(self) -> StatsSnapshot:
         """An immutable, mutually consistent copy of all counters."""
-        with self._lock:
-            counters = dict(self._counters)
-            latencies = sorted(self._latencies)
-        p50 = _percentile(latencies, 0.50) if latencies else 0.0
-        p95 = _percentile(latencies, 0.95) if latencies else 0.0
+        counters = {
+            name: int(counter.value)
+            for name, counter in self._counters.items()
+        }
+        quantiles = self._latency.quantiles((0.50, 0.95))
         return StatsSnapshot(
-            **counters, p50_latency_s=p50, p95_latency_s=p95
+            **counters,
+            p50_latency_s=quantiles[0.50],
+            p95_latency_s=quantiles[0.95],
         )
+
+
+_DEPRECATED = {"_percentile"}
+_warned: set[str] = set()
+
+
+def __getattr__(name: str):
+    # Deprecation shim: the percentile helper moved to repro.obs — the
+    # one shared implementation behind every percentile in the repo.
+    if name in _DEPRECATED:
+        if name not in _warned:
+            _warned.add(name)
+            warnings.warn(
+                f"repro.service.stats.{name} is deprecated; use "
+                f"repro.obs.percentile instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        from repro.obs.registry import percentile
+
+        return percentile
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -24,6 +24,12 @@ from repro.hardware.catalog import (
 )
 
 
+@pytest.fixture(autouse=True)
+def _obs_snapshot_in_tmp(tmp_path, monkeypatch):
+    """Keep CLI observability snapshots out of the working directory."""
+    monkeypatch.setenv("REPRO_OBS_PATH", str(tmp_path / "obs-snapshot.json"))
+
+
 @pytest.fixture
 def toy_low() -> ObservationSetup:
     """A small, LOFAR-like setup: low frequencies, strong dispersion."""

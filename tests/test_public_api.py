@@ -1,0 +1,122 @@
+"""The curated public surface of the ``repro`` package.
+
+Guards the API contract: everything in ``repro.__all__`` is importable
+without a warning, the deprecated top-level aliases warn exactly once
+(and still work), and the blessed observability/service entry points are
+the same objects as their home-module definitions.
+"""
+
+import importlib
+import warnings
+
+import pytest
+
+import repro
+
+
+class TestCuratedAll:
+    def test_every_name_in_all_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_all_is_sorted_sets_of_unique_names(self):
+        assert len(repro.__all__) == len(set(repro.__all__))
+
+    def test_blessed_names_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            for name in repro.__all__:
+                getattr(repro, name)
+
+    def test_star_import_matches_all(self):
+        namespace: dict = {}
+        exec("from repro import *", namespace)
+        exported = {k for k in namespace if k != "__builtins__"}
+        assert exported == set(repro.__all__)
+
+    def test_observability_names_are_blessed(self):
+        for name in ("MetricsRegistry", "Tracer", "Span", "get_registry",
+                     "set_registry", "use_registry", "percentile", "span"):
+            assert name in repro.__all__
+
+    def test_service_names_are_blessed(self):
+        for name in ("TuningService", "ServiceResponse", "ServiceStats",
+                     "StatsSnapshot"):
+            assert name in repro.__all__
+
+    def test_blessed_objects_match_home_modules(self):
+        from repro.obs.registry import MetricsRegistry, percentile
+        from repro.service.service import TuningService
+
+        assert repro.MetricsRegistry is MetricsRegistry
+        assert repro.percentile is percentile
+        assert repro.TuningService is TuningService
+
+    def test_dir_covers_all_and_aliases(self):
+        listing = dir(repro)
+        for name in repro.__all__:
+            assert name in listing
+        for name in repro._DEPRECATED_ALIASES:
+            assert name in listing
+
+
+class TestDeprecatedTopLevelAliases:
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError, match="no attribute"):
+            repro.definitely_not_a_thing
+
+    @pytest.mark.parametrize("name", sorted(repro._DEPRECATED_ALIASES))
+    def test_alias_resolves_to_home_definition(self, name):
+        module_name, attribute = repro._DEPRECATED_ALIASES[name]
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            via_alias = getattr(repro, name)
+        home = importlib.import_module(module_name)
+        assert via_alias is getattr(home, attribute)
+
+    def test_alias_warns_once_then_stays_quiet(self):
+        repro._warned_aliases.discard("hill_climb")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            repro.hill_climb
+            repro.hill_climb
+        deprecations = [
+            w for w in caught
+            if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "repro.core.heuristics" in str(deprecations[0].message)
+
+    def test_aliases_are_not_in_all(self):
+        assert not set(repro._DEPRECATED_ALIASES) & set(repro.__all__)
+
+
+class TestDeprecatedStatsPercentile:
+    def test_percentile_shim_warns_once_and_works(self):
+        from repro.service import stats
+
+        stats._warned.discard("_percentile")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            helper = stats._percentile
+            helper_again = stats._percentile
+        deprecations = [
+            w for w in caught
+            if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "repro.obs.percentile" in str(deprecations[0].message)
+        assert helper is helper_again is repro.percentile
+        assert helper([1.0, 2.0, 3.0], 0.5) == 2.0
+
+    def test_stats_module_rejects_other_privates(self):
+        from repro.service import stats
+
+        with pytest.raises(AttributeError):
+            stats._not_a_percentile
+
+
+class TestVersion:
+    def test_version_is_a_pep440_string(self):
+        major, minor, patch = repro.__version__.split(".")
+        assert all(part.isdigit() for part in (major, minor, patch))
