@@ -1,0 +1,116 @@
+"""Benchmark the sharded execution engine end to end.
+
+Times a fleet-scale survey run through ``repro.sched.ExecutionEngine``
+(virtual makespan, not wall clock — the wall clock here measures the
+scheduler itself) in three regimes: fault-free, with the default fault
+injection, and with stealing disabled under a straggler. Each run's
+makespan and throughput land in ``benchmark.extra_info`` so they appear
+in pytest-benchmark's JSON output.
+
+Also runnable directly, emitting a JSON report::
+
+    PYTHONPATH=src python benchmarks/bench_sched.py
+"""
+
+import json
+
+from repro.astro.dm_trials import DMTrialGrid
+from repro.astro.observation import apertif
+from repro.hardware.catalog import gtx680, hd7970
+from repro.sched import ExecutionEngine, FaultProfile
+from repro.service import TuningService
+
+GRID = DMTrialGrid(256)
+SETUP = apertif()
+N_BEAMS = 48
+DURATION_S = 2.0
+MEM = 3 * 1024 ** 3
+
+
+def _inventory():
+    return [(hd7970(), 3, MEM), (gtx680(), 2, MEM)]
+
+
+def _run(service, *, faults=None, steal=True, seed=0):
+    engine = ExecutionEngine(
+        _inventory(), SETUP, GRID, N_BEAMS, DURATION_S,
+        seed=seed, faults=faults, steal=steal, service=service,
+        max_dms_per_shard=64,
+    )
+    return engine.run()
+
+
+def _record(benchmark, report):
+    benchmark.extra_info["makespan_s"] = report.makespan_s
+    benchmark.extra_info["throughput_beam_seconds_per_s"] = report.throughput
+    benchmark.extra_info["realtime_sustained"] = report.realtime_sustained
+    benchmark.extra_info["shards"] = report.shards_total
+
+
+def test_sched_fault_free(benchmark):
+    """Baseline: 5 workers, no faults."""
+    with TuningService(max_workers=1) as service:
+        report = benchmark.pedantic(
+            lambda: _run(service), rounds=3, iterations=1, warmup_rounds=1
+        )
+    assert report.complete
+    _record(benchmark, report)
+
+
+def test_sched_with_fault_injection(benchmark):
+    """Default injection: one crash, one straggler, 5% transients."""
+    with TuningService(max_workers=1) as service:
+        report = benchmark.pedantic(
+            lambda: _run(service, faults=FaultProfile.default_injection()),
+            rounds=3, iterations=1, warmup_rounds=1,
+        )
+    assert report.complete
+    _record(benchmark, report)
+
+
+def test_sched_straggler_no_steal(benchmark):
+    """Worst case: 4x straggler and work stealing disabled."""
+    profile = FaultProfile(stragglers=1, slowdown=4.0)
+    with TuningService(max_workers=1) as service:
+        report = benchmark.pedantic(
+            lambda: _run(service, faults=profile, steal=False),
+            rounds=3, iterations=1, warmup_rounds=1,
+        )
+    assert report.complete
+    _record(benchmark, report)
+
+
+def main() -> int:
+    rows = []
+    with TuningService(max_workers=1) as service:
+        for label, kwargs in (
+            ("fault_free", {}),
+            ("default_injection", {"faults": FaultProfile.default_injection()}),
+            (
+                "straggler_no_steal",
+                {
+                    "faults": FaultProfile(stragglers=1, slowdown=4.0),
+                    "steal": False,
+                },
+            ),
+        ):
+            report = _run(service, **kwargs)
+            rows.append(
+                {
+                    "scenario": label,
+                    "shards": report.shards_total,
+                    "makespan_s": report.makespan_s,
+                    "throughput_beam_seconds_per_s": report.throughput,
+                    "realtime_sustained": report.realtime_sustained,
+                    "crashed_workers": list(report.crashed_workers),
+                    "retries": report.retries,
+                    "steals": report.steals,
+                }
+            )
+    print(json.dumps({"setup": SETUP.name, "n_dms": GRID.n_dms,
+                      "n_beams": N_BEAMS, "runs": rows}, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -45,6 +45,9 @@ from repro.errors import (
     TuningError,
     PipelineError,
     ExperimentError,
+    SchedulerError,
+    ShardError,
+    LedgerError,
 )
 from repro.astro import (
     ObservationSetup,
@@ -96,6 +99,16 @@ from repro.service import (
     ServiceStats,
     StatsSnapshot,
 )
+from repro.sched import (
+    ExecutionEngine,
+    FaultProfile,
+    RunLedger,
+    RunReport,
+    Shard,
+    load_ledger,
+    shard_survey,
+)
+from repro.utils import RandomStreams, derive_seed
 
 __version__ = "1.1.0"
 
@@ -117,6 +130,9 @@ __all__ = [
     "TuningError",
     "PipelineError",
     "ExperimentError",
+    "SchedulerError",
+    "ShardError",
+    "LedgerError",
     # astro substrate
     "ObservationSetup",
     "apertif",
@@ -162,6 +178,17 @@ __all__ = [
     "ServiceResponse",
     "ServiceStats",
     "StatsSnapshot",
+    # execution engine
+    "ExecutionEngine",
+    "FaultProfile",
+    "RunLedger",
+    "RunReport",
+    "Shard",
+    "load_ledger",
+    "shard_survey",
+    # seeded randomness
+    "RandomStreams",
+    "derive_seed",
 ]
 
 #: Deprecated top-level aliases -> (blessed home module, attribute).

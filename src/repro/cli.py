@@ -18,6 +18,9 @@ Subcommands:
 * ``survey`` — run the full multi-beam survey pipeline (RFI mitigation,
   tuned dedispersion, single-pulse + periodicity detection) on synthetic
   beams.
+* ``sched`` — plan a fleet for a survey, then execute every shard on it
+  through the fault-tolerant scheduler (``--inject`` adds a crash, a
+  straggler, and transient errors); writes/resumes run ledgers.
 * ``obs`` — dump, export (Prometheus text / JSON lines / JSON), or reset
   the observability snapshot accumulated by the other subcommands.
 """
@@ -267,6 +270,64 @@ def _service_pipeline_smoke(service, device) -> None:
     )
 
 
+def _cmd_sched(args: argparse.Namespace) -> int:
+    from repro.pipeline.fleet import FleetDevice, plan_fleet
+    from repro.sched import ExecutionEngine, FaultProfile, load_ledger
+
+    setup = _setup_by_name(args.setup)
+    grid = DMTrialGrid(args.dms, step=args.dm_step)
+    inventory = []
+    for token in args.inventory.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        parts = token.split(":")
+        if len(parts) not in (2, 3):
+            raise ReproError(
+                f"invalid inventory entry {token!r} "
+                "(expected NAME:COUNT or NAME:COUNT:COST)"
+            )
+        try:
+            count = int(parts[1])
+            cost = float(parts[2]) if len(parts) == 3 else 1.0
+        except ValueError:
+            raise ReproError(f"invalid inventory entry {token!r}") from None
+        inventory.append(
+            FleetDevice(
+                device_by_name(parts[0]), available=count, unit_cost=cost
+            )
+        )
+    if not inventory:
+        raise ReproError("no inventory given (use --inventory NAME:COUNT,...)")
+
+    plan = plan_fleet(inventory, setup, grid, args.beams)
+    print(plan.summary())
+    print()
+
+    faults = (
+        FaultProfile.default_injection() if args.inject else FaultProfile.none()
+    )
+    resume_from = load_ledger(args.resume) if args.resume else None
+    engine = ExecutionEngine.from_plan(
+        plan,
+        inventory,
+        setup,
+        grid,
+        duration_s=args.duration,
+        seed=args.seed,
+        faults=faults,
+        steal=not args.no_steal,
+        max_dms_per_shard=args.max_dms_per_shard,
+        resume_from=resume_from,
+    )
+    report = engine.run()
+    print(report.summary())
+    if args.ledger:
+        print(f"ledger written to {report.ledger.save(args.ledger)}")
+    _persist_obs()
+    return 0 if report.complete else 1
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     import json
 
@@ -500,6 +561,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the end-to-end pipeline smoke after the client traffic",
     )
     service.set_defaults(func=_cmd_service, smoke=True)
+
+    sched = sub.add_parser(
+        "sched", help="fault-tolerant sharded survey execution"
+    )
+    sched.add_argument(
+        "--inventory", default="HD7970:3,GTX680:2",
+        help="comma-separated device pool, NAME:COUNT[:COST]",
+    )
+    sched.add_argument("--setup", default="apertif")
+    sched.add_argument("--dms", type=int, default=256)
+    sched.add_argument("--dm-step", type=float, default=0.25)
+    sched.add_argument(
+        "--beams", type=int, default=48,
+        help="beams to host (the default needs >1 device, so an "
+             "injected crash leaves survivors)",
+    )
+    sched.add_argument(
+        "--duration", type=float, default=2.0,
+        help="seconds of sky per beam",
+    )
+    sched.add_argument("--seed", type=int, default=0)
+    sched.add_argument(
+        "--inject", action="store_true",
+        help="inject the default fault scenario "
+             "(1 crash, one 4x straggler, 5%% transient errors)",
+    )
+    sched.add_argument(
+        "--no-steal", action="store_true",
+        help="disable work stealing (to measure its benefit)",
+    )
+    sched.add_argument(
+        "--max-dms-per-shard", type=int, default=64,
+        help="cap the DM chunk per shard (finer load balancing)",
+    )
+    sched.add_argument(
+        "--ledger", metavar="PATH", default="",
+        help="write the run ledger JSON to PATH",
+    )
+    sched.add_argument(
+        "--resume", metavar="PATH", default="",
+        help="resume from a saved ledger (completed shards are skipped)",
+    )
+    sched.set_defaults(func=_cmd_sched)
 
     obs = sub.add_parser(
         "obs", help="dump/export/reset the observability snapshot"

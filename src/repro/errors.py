@@ -39,3 +39,15 @@ class PipelineError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment driver was asked for an unknown or failed experiment."""
+
+
+class SchedulerError(ReproError):
+    """The sharded execution engine could not run a survey to completion."""
+
+
+class ShardError(SchedulerError):
+    """A work unit is invalid, unplaceable, or exhausted its retry budget."""
+
+
+class LedgerError(SchedulerError):
+    """A run ledger document is malformed or inconsistent with its run."""

@@ -81,6 +81,67 @@ class BatchedDedispersionKernel:
         return out
 
 
+def execute_sharded(
+    config,
+    input_batch: np.ndarray,
+    delay_table: np.ndarray,
+    shards,
+) -> np.ndarray:
+    """Execute one time batch shard by shard and stitch the output.
+
+    The :mod:`repro.sched` decomposition claim made concrete:
+    dedispersion is independent per (beam, DM trial), so running each
+    shard's DM sub-range as its own launch and writing its rows into
+    place reproduces :meth:`BatchedDedispersionKernel.execute` bit for
+    bit (asserted by ``tests/sched/test_shard.py``).  ``shards`` must
+    all belong to one time batch and jointly cover every (beam, DM row)
+    of the ``(beams, channels, t)`` input exactly once; ``config`` must
+    tile every shard's DM count.
+    """
+    from repro.opencl_sim.codegen import build_kernel
+
+    input_batch = np.asarray(input_batch)
+    if input_batch.ndim != 3:
+        raise ValidationError(
+            "sharded input must have shape (beams, channels, t), got "
+            f"{input_batch.shape}"
+        )
+    shards = tuple(shards)
+    if not shards:
+        raise ValidationError("execute_sharded needs at least one shard")
+    n_beams = input_batch.shape[0]
+    n_dms = delay_table.shape[0]
+    samples = shards[0].samples
+    covered = np.zeros((n_beams, n_dms), dtype=bool)
+    for shard in shards:
+        if shard.batch != shards[0].batch or shard.samples != samples:
+            raise ValidationError(
+                "execute_sharded covers a single uniform time batch; "
+                f"shard {shard.shard_id} does not match"
+            )
+        if shard.beam >= n_beams or shard.dm_start + shard.dm_count > n_dms:
+            raise ValidationError(
+                f"shard {shard.shard_id} exceeds the (beams, DMs) extent"
+            )
+        rows = covered[shard.beam, shard.dm_start:shard.dm_start + shard.dm_count]
+        if rows.any():
+            raise ValidationError(f"shard {shard.shard_id} overlaps another")
+        rows[:] = True
+    if not covered.all():
+        raise ValidationError("shards do not cover every (beam, DM row)")
+
+    kernel = build_kernel(config, input_batch.shape[1], samples)
+    out = np.zeros((n_beams, n_dms, samples), dtype=np.float32)
+    for shard in shards:
+        stop = shard.dm_start + shard.dm_count
+        kernel.execute(
+            input_batch[shard.beam],
+            delay_table[shard.dm_start:stop],
+            out=out[shard.beam, shard.dm_start:stop],
+        )
+    return out
+
+
 def build_batched_kernel(
     config,
     channels: int,

@@ -3,12 +3,13 @@
 from repro.pipeline.streaming import StreamingDedispersion, ChunkResult
 from repro.pipeline.multibeam import BeamAssignment, MultiBeamScheduler
 from repro.pipeline.survey import SurveyPipeline, SurveyReport, BeamResult
-from repro.pipeline.fleet import FleetDevice, FleetPlan, plan_fleet
+from repro.pipeline.fleet import FleetDevice, FleetPlan, execute_plan, plan_fleet
 from repro.pipeline.realtime import (
     RealtimeReport,
     realtime_report,
     accelerators_needed,
     apertif_deployment,
+    execute_deployment,
     DeploymentPlan,
 )
 
@@ -18,6 +19,7 @@ __all__ = [
     "BeamResult",
     "FleetDevice",
     "FleetPlan",
+    "execute_plan",
     "plan_fleet",
     "StreamingDedispersion",
     "ChunkResult",
@@ -27,5 +29,6 @@ __all__ = [
     "realtime_report",
     "accelerators_needed",
     "apertif_deployment",
+    "execute_deployment",
     "DeploymentPlan",
 ]

@@ -15,6 +15,7 @@ and each device type contributes a fixed beam capacity).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.astro.dm_trials import DMTrialGrid
@@ -23,12 +24,16 @@ from repro.errors import PipelineError
 from repro.hardware.device import DeviceSpec
 from repro.obs import get_registry, span
 from repro.pipeline.multibeam import DEFAULT_DEVICE_MEMORY, MultiBeamScheduler
-from repro.utils.validation import require_positive, require_positive_int
+from repro.utils.validation import require_non_negative, require_positive_int
 
 
 @dataclass(frozen=True)
 class FleetDevice:
-    """One device type available to the fleet."""
+    """One device type available to the fleet.
+
+    ``unit_cost`` may be zero — already-owned hardware the plan should
+    always prefer over purchases.
+    """
 
     device: DeviceSpec
     available: int
@@ -37,7 +42,7 @@ class FleetDevice:
 
     def __post_init__(self) -> None:
         require_positive_int(self.available, "available")
-        require_positive(self.unit_cost, "unit_cost")
+        require_non_negative(self.unit_cost, "unit_cost")
 
 
 @dataclass(frozen=True)
@@ -88,6 +93,24 @@ class FleetPlan:
                 f"({a.beams_per_unit} beams each -> {a.beams_total})"
             )
         return "\n".join(lines)
+
+    def execute(
+        self,
+        inventory: list[FleetDevice] | tuple[FleetDevice, ...],
+        setup: ObservationSetup,
+        grid: DMTrialGrid,
+        duration_s: float = 1.0,
+        **engine_kwargs,
+    ):
+        """Run this plan's fleet on the survey it was sized for.
+
+        Delegates to :func:`execute_plan`; ``inventory`` must be the
+        inventory the plan was computed from (it supplies the device
+        specs and memory sizes behind the assignment names).
+        """
+        return execute_plan(
+            self, inventory, setup, grid, duration_s, **engine_kwargs
+        )
 
 
 def plan_fleet(
@@ -141,9 +164,17 @@ def _plan_fleet(
             per_unit = scheduler.assign(n_beams).beams_per_device
         except PipelineError:
             continue  # cannot host a single beam in real time
-        efficiency = per_unit / entry.unit_cost
+        efficiency = (
+            math.inf if entry.unit_cost == 0
+            else per_unit / entry.unit_cost
+        )
         capacities.append((efficiency, entry, per_unit))
 
+    if not capacities:
+        raise PipelineError(
+            f"no device type in the inventory can host a single "
+            f"{setup.name} beam ({grid.n_dms} DMs) in real time"
+        )
     capacities.sort(key=lambda item: -item[0])
     remaining = n_beams
     assignments: list[FleetAssignment] = []
@@ -154,7 +185,6 @@ def _plan_fleet(
         units = min(needed, entry.available)
         if units == 0:
             continue
-        hosted = min(units * per_unit, remaining + per_unit - 1)
         assignments.append(
             FleetAssignment(
                 device_name=entry.device.name,
@@ -175,3 +205,28 @@ def _plan_fleet(
         n_beams=n_beams,
         assignments=tuple(assignments),
     )
+
+
+def execute_plan(
+    plan: FleetPlan,
+    inventory: list[FleetDevice] | tuple[FleetDevice, ...],
+    setup: ObservationSetup,
+    grid: DMTrialGrid,
+    duration_s: float = 1.0,
+    **engine_kwargs,
+):
+    """Execute a fleet plan through :mod:`repro.sched`.
+
+    Bridges planning into execution: builds an
+    :class:`~repro.sched.ExecutionEngine` over exactly the units the
+    plan selected and runs every shard of the survey, returning the
+    :class:`~repro.sched.RunReport` (whose ``realtime_sustained`` flag
+    is the empirical counterpart of the plan's feasibility claim).
+    Engine keywords — ``seed``, ``faults``, ``steal`` … — pass through.
+    """
+    from repro.sched import ExecutionEngine  # local: sched sits above pipeline
+
+    engine = ExecutionEngine.from_plan(
+        plan, inventory, setup, grid, duration_s=duration_s, **engine_kwargs
+    )
+    return engine.run()

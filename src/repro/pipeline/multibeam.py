@@ -93,3 +93,26 @@ class MultiBeamScheduler:
             memory_per_beam=m_beam,
             limited_by="compute" if by_compute <= by_memory else "memory",
         )
+
+    def execute(self, n_beams: int, duration_s: float = 1.0, **engine_kwargs):
+        """Run ``n_beams`` on the devices :meth:`assign` sizes.
+
+        Bridges the packing into :mod:`repro.sched`: the assignment's
+        ``devices_needed`` units of this device execute the sharded
+        survey (shards sized by the same memory accounting as
+        :meth:`memory_per_beam`), returning the
+        :class:`~repro.sched.RunReport`.  Engine keywords — ``seed``,
+        ``faults``, ``steal`` … — pass through.
+        """
+        from repro.sched import ExecutionEngine  # local: sched sits above pipeline
+
+        assignment = self.assign(n_beams)
+        engine = ExecutionEngine(
+            [(self.device, assignment.devices_needed, self.device_memory_bytes)],
+            self.setup,
+            self.grid,
+            n_beams,
+            duration_s,
+            **engine_kwargs,
+        )
+        return engine.run()

@@ -129,6 +129,46 @@ def accelerators_needed(
     )
 
 
+def execute_deployment(
+    device: DeviceSpec,
+    setup: ObservationSetup,
+    grid: DMTrialGrid,
+    n_beams: int,
+    duration_s: float = 1.0,
+    device_memory_bytes: int = DEFAULT_DEVICE_MEMORY,
+    **engine_kwargs,
+):
+    """Size a deployment, then actually run it through :mod:`repro.sched`.
+
+    Returns ``(plan, report)``: the Sec. V-D sizing plus the simulated
+    execution that demonstrates (or, under injected faults, stresses)
+    it — ``report.realtime_sustained`` is the empirical verdict the
+    static plan only asserts.  Engine keywords — ``seed``, ``faults``,
+    ``steal`` … — pass through.
+    """
+    from repro.sched import ExecutionEngine  # local: sched sits above pipeline
+
+    plan = accelerators_needed(
+        device, setup, grid, n_beams, device_memory_bytes=device_memory_bytes
+    )
+    engine = ExecutionEngine(
+        [(device, plan.devices_needed, device_memory_bytes)],
+        setup,
+        grid,
+        n_beams,
+        duration_s,
+        **engine_kwargs,
+    )
+    report = engine.run()
+    get_registry().gauge(
+        "repro_pipeline_realtime_margin",
+        stage="fleet-run",
+        device=device.name,
+        setup=setup.name,
+    ).set(report.realtime_margin)
+    return plan, report
+
+
 def apertif_deployment(
     device: DeviceSpec | None = None,
     n_dms: int = 2000,

@@ -1,0 +1,65 @@
+"""repro.sched: fault-tolerant sharded execution for fleet-scale surveys.
+
+The execution layer above :mod:`repro.pipeline`'s planners: where
+:func:`~repro.pipeline.fleet.plan_fleet` decides *which* devices to buy,
+this package *runs* the survey on them — sharding beams x DM sub-ranges
+x time batches, dispatching to simulated workers driven by the
+:mod:`repro.hardware` model and :class:`~repro.service.TuningService`
+configurations, and surviving injected crashes, transient errors, and
+stragglers while recording every attempt in a checkpointable, seeded,
+byte-reproducible :class:`RunLedger`.
+
+Typical use::
+
+    from repro.sched import ExecutionEngine, FaultProfile
+
+    engine = ExecutionEngine.from_inventory(
+        inventory, setup, grid, n_beams=12, duration_s=2.0,
+        seed=42, faults=FaultProfile.default_injection(),
+    )
+    report = engine.run()
+    print(report.summary())
+    report.ledger.save("ledger.json")
+
+See ``docs/scheduler.md`` for the architecture and fault model.
+"""
+
+from repro.sched.engine import ExecutionEngine, RunReport
+from repro.sched.faults import FaultInjector, FaultProfile
+from repro.sched.ledger import (
+    LEDGER_SCHEMA_VERSION,
+    SUPPORTED_LEDGER_SCHEMAS,
+    Attempt,
+    RunLedger,
+    ShardRecord,
+    load_ledger,
+    validate_document,
+)
+from repro.sched.shard import (
+    Shard,
+    dm_chunk_for_memory,
+    shard_memory_bytes,
+    shard_survey,
+)
+from repro.sched.workers import ServiceTimeModel, Worker, WorkerStats
+
+__all__ = [
+    "LEDGER_SCHEMA_VERSION",
+    "SUPPORTED_LEDGER_SCHEMAS",
+    "Attempt",
+    "ExecutionEngine",
+    "FaultInjector",
+    "FaultProfile",
+    "RunLedger",
+    "RunReport",
+    "ServiceTimeModel",
+    "Shard",
+    "ShardRecord",
+    "Worker",
+    "WorkerStats",
+    "dm_chunk_for_memory",
+    "load_ledger",
+    "shard_memory_bytes",
+    "shard_survey",
+    "validate_document",
+]

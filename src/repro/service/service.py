@@ -237,6 +237,31 @@ class TuningService:
             ))
         ]
 
+    def predict_seconds(
+        self,
+        device: DeviceSpec,
+        setup: ObservationSetup,
+        grid: DMTrialGrid | int,
+        samples: int | None = None,
+    ) -> float:
+        """Modelled seconds to dedisperse one batch with the tuned config.
+
+        Resolves the tuned configuration through the normal request path
+        (so it benefits from every cache tier), then runs it through the
+        performance model for ``samples`` output samples (default: the
+        setup's batch).  The :mod:`repro.sched` workers' service-time
+        estimates are the per-shard analogue of this call.
+        """
+        from repro.hardware.model import PerformanceModel  # local: avoid cycle
+
+        if isinstance(grid, int):
+            grid = DMTrialGrid(n_dms=grid)
+        response = self.get(device, setup, grid)
+        model = PerformanceModel(device, setup, grid)
+        return model.simulate(
+            response.best.config, samples=samples, validate=False
+        ).seconds
+
     def snapshot(self) -> StatsSnapshot:
         """Current service counters."""
         return self.stats.snapshot()

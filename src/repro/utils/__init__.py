@@ -1,5 +1,6 @@
-"""Shared utility helpers: validation, integer math, units, tables."""
+"""Shared utility helpers: validation, integer math, units, seeded RNG."""
 
+from repro.utils.rng import RandomStreams, derive_seed
 from repro.utils.validation import (
     require,
     require_positive,
@@ -27,6 +28,8 @@ from repro.utils.units import (
 )
 
 __all__ = [
+    "RandomStreams",
+    "derive_seed",
     "require",
     "require_positive",
     "require_positive_int",

@@ -4,9 +4,9 @@ import pytest
 
 from repro.astro.dm_trials import DMTrialGrid
 from repro.astro.observation import apertif
-from repro.errors import PipelineError
+from repro.errors import PipelineError, ValidationError
 from repro.hardware.catalog import gtx_titan, hd7970, k20, xeon_phi_5110p
-from repro.pipeline.fleet import FleetDevice, plan_fleet
+from repro.pipeline.fleet import FleetDevice, execute_plan, plan_fleet
 
 
 GRID = DMTrialGrid(2000)
@@ -90,3 +90,65 @@ class TestPlanFleet:
             90,
         )
         assert plan.total_cost == pytest.approx(plan.total_units * 2.5)
+
+    def test_zero_cost_devices_are_preferred(self):
+        # Already-owned hardware (cost 0) beats anything with a price tag,
+        # even a faster device.
+        inventory = [
+            FleetDevice(hd7970(), available=500, unit_cost=1.0),
+            FleetDevice(k20(), available=500, unit_cost=0.0),
+        ]
+        plan = plan_fleet(inventory, SETUP, GRID, 100)
+        assert plan.assignments[0].device_name == "K20"
+        assert plan.assignments[0].cost == 0.0
+
+    def test_all_zero_cost_plan_costs_nothing(self):
+        plan = plan_fleet(
+            [FleetDevice(hd7970(), available=100, unit_cost=0.0)],
+            SETUP,
+            GRID,
+            90,
+        )
+        assert plan.total_cost == 0.0
+        assert plan.beams_covered >= 90
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValidationError):
+            FleetDevice(hd7970(), available=1, unit_cost=-1.0)
+
+    def test_single_device_type_exact_fit(self):
+        # 9 beams per HD7970: exactly one unit, no spare assignment rows.
+        plan = plan_fleet(
+            [FleetDevice(hd7970(), available=1)], SETUP, GRID, 9
+        )
+        assert plan.total_units == 1
+        assert len(plan.assignments) == 1
+        assert plan.beams_covered == 9
+
+    def test_no_feasible_device_message_names_setup_and_grid(self):
+        grid = DMTrialGrid(4096)
+        with pytest.raises(PipelineError, match="host a single"):
+            plan_fleet(
+                [FleetDevice(xeon_phi_5110p(), available=10_000)],
+                SETUP,
+                grid,
+                10,
+            )
+
+
+class TestExecutePlan:
+    def test_plan_executes_to_completion(self):
+        grid = DMTrialGrid(64)
+        inventory = [FleetDevice(hd7970(), available=4)]
+        plan = plan_fleet(inventory, SETUP, grid, 4)
+        report = execute_plan(plan, inventory, SETUP, grid, duration_s=1.0)
+        assert report.complete
+        assert report.shards_done == report.shards_total
+        assert report.ledger.exactly_once()
+
+    def test_plan_method_delegates(self):
+        grid = DMTrialGrid(64)
+        inventory = [FleetDevice(hd7970(), available=4)]
+        plan = plan_fleet(inventory, SETUP, grid, 4)
+        report = plan.execute(inventory, SETUP, grid, duration_s=1.0)
+        assert report.complete

@@ -1,0 +1,146 @@
+"""Unit tests for repro.sched.shard — survey decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.astro.dispersion import delay_table
+from repro.core.config import KernelConfiguration
+from repro.errors import ShardError, ValidationError
+from repro.opencl_sim.batch import build_batched_kernel, execute_sharded
+from repro.sched.shard import (
+    Shard,
+    dm_chunk_for_memory,
+    shard_memory_bytes,
+    shard_survey,
+)
+
+
+class TestShard:
+    def test_shard_id_is_stable_and_sortable(self):
+        a = Shard(beam=0, dm_start=0, dm_count=4, batch=0, samples=100)
+        b = Shard(beam=0, dm_start=4, dm_count=4, batch=0, samples=100)
+        c = Shard(beam=1, dm_start=0, dm_count=4, batch=0, samples=100)
+        assert a.shard_id == "b0000/d00000+4/t0000"
+        assert sorted([c.shard_id, b.shard_id, a.shard_id]) == [
+            a.shard_id, b.shard_id, c.shard_id,
+        ]
+
+    def test_subgrid_matches_slice(self, toy_grid):
+        shard = Shard(beam=0, dm_start=2, dm_count=3, batch=0, samples=100)
+        sub = shard.subgrid(toy_grid)
+        assert sub.n_dms == 3
+        assert list(sub.values) == list(toy_grid.values[2:5])
+
+    def test_rejects_bad_coordinates(self):
+        with pytest.raises(ShardError):
+            Shard(beam=-1, dm_start=0, dm_count=1, batch=0, samples=10)
+        with pytest.raises(ValidationError):
+            Shard(beam=0, dm_start=0, dm_count=0, batch=0, samples=10)
+
+
+class TestShardSizing:
+    def test_memory_bytes_consistent_with_setup(self, toy_low, toy_grid):
+        bytes_ = shard_memory_bytes(toy_low, toy_grid, 4, 400)
+        expected = toy_low.input_bytes(
+            toy_grid.n_dms, toy_grid.step, samples=400
+        ) + toy_low.output_bytes(4, samples=400)
+        assert bytes_ == expected
+
+    def test_chunk_is_largest_fitting(self, toy_low, toy_grid):
+        budget = shard_memory_bytes(
+            toy_low, toy_grid, 5, toy_low.samples_per_batch
+        )
+        chunk = dm_chunk_for_memory(toy_low, toy_grid, budget)
+        assert chunk == 5
+
+    def test_whole_grid_when_memory_ample(self, toy_low, toy_grid):
+        chunk = dm_chunk_for_memory(toy_low, toy_grid, 10 ** 12)
+        assert chunk == toy_grid.n_dms
+
+    def test_raises_when_one_dm_does_not_fit(self, toy_low, toy_grid):
+        with pytest.raises(ShardError, match="single-DM"):
+            dm_chunk_for_memory(toy_low, toy_grid, 16)
+
+
+class TestShardSurvey:
+    def test_counts_beams_chunks_batches(self, toy_low, toy_grid):
+        shards = shard_survey(
+            toy_low, toy_grid, n_beams=3, duration_s=2.0, max_dms_per_shard=4
+        )
+        # 3 beams x 2 DM chunks x 2 one-second batches.
+        assert len(shards) == 12
+        assert {s.beam for s in shards} == {0, 1, 2}
+        assert {s.dm_start for s in shards} == {0, 4}
+        assert {s.batch for s in shards} == {0, 1}
+
+    def test_beam_major_order(self, toy_low, toy_grid):
+        shards = shard_survey(toy_low, toy_grid, n_beams=2, duration_s=1.0)
+        beams = [s.beam for s in shards]
+        assert beams == sorted(beams)
+
+    def test_uneven_chunk_remainder(self, toy_low, toy_grid):
+        shards = shard_survey(
+            toy_low, toy_grid, n_beams=1, duration_s=1.0, max_dms_per_shard=3
+        )
+        counts = [s.dm_count for s in shards]
+        assert counts == [3, 3, 2]
+        assert sum(counts) == toy_grid.n_dms
+
+    def test_memory_budget_chunks_dm_axis(self, toy_low, toy_grid):
+        budget = shard_memory_bytes(
+            toy_low, toy_grid, 2, toy_low.samples_per_batch
+        )
+        shards = shard_survey(
+            toy_low, toy_grid, n_beams=1, duration_s=1.0, memory_bytes=budget
+        )
+        assert all(s.dm_count <= 2 for s in shards)
+
+    def test_sub_second_duration_still_one_batch(self, toy_low, toy_grid):
+        shards = shard_survey(toy_low, toy_grid, n_beams=1, duration_s=0.25)
+        assert len(shards) == 1
+
+
+class TestShardedExecutionIsLossless:
+    """The decomposition claim: shard outputs stitch to the batched output."""
+
+    def test_bit_identical_to_batched_kernel(self, toy_low, toy_grid, rng):
+        table = delay_table(toy_low, toy_grid.values)
+        t = toy_low.samples_per_batch + int(table.max())
+        batch = rng.normal(size=(3, toy_low.channels, t)).astype(np.float32)
+        config = KernelConfiguration(
+            work_items_time=4, work_items_dm=2, elements_time=2, elements_dm=1
+        )
+        reference = build_batched_kernel(
+            config, toy_low.channels, toy_low.samples_per_batch, 3
+        ).execute(batch, table)
+        shards = shard_survey(
+            toy_low, toy_grid, n_beams=3, duration_s=1.0, max_dms_per_shard=2
+        )
+        stitched = execute_sharded(config, batch, table, shards)
+        assert np.array_equal(reference, stitched)
+
+    def test_rejects_incomplete_cover(self, toy_low, toy_grid, rng):
+        table = delay_table(toy_low, toy_grid.values)
+        t = toy_low.samples_per_batch + int(table.max())
+        batch = rng.normal(size=(1, toy_low.channels, t)).astype(np.float32)
+        config = KernelConfiguration(
+            work_items_time=4, work_items_dm=2, elements_time=2, elements_dm=1
+        )
+        shards = shard_survey(
+            toy_low, toy_grid, n_beams=1, duration_s=1.0, max_dms_per_shard=2
+        )
+        with pytest.raises(ValidationError, match="cover"):
+            execute_sharded(config, batch, table, shards[:-1])
+
+    def test_rejects_overlapping_shards(self, toy_low, toy_grid, rng):
+        table = delay_table(toy_low, toy_grid.values)
+        t = toy_low.samples_per_batch + int(table.max())
+        batch = rng.normal(size=(1, toy_low.channels, t)).astype(np.float32)
+        config = KernelConfiguration(
+            work_items_time=4, work_items_dm=2, elements_time=2, elements_dm=1
+        )
+        shards = shard_survey(
+            toy_low, toy_grid, n_beams=1, duration_s=1.0, max_dms_per_shard=2
+        )
+        with pytest.raises(ValidationError, match="overlap"):
+            execute_sharded(config, batch, table, list(shards) + [shards[0]])

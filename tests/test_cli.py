@@ -131,6 +131,55 @@ class TestExport:
         assert (tmp_path / "table1.json").exists()
 
 
+class TestSched:
+    ARGS = [
+        "sched",
+        "--inventory", "HD7970:2",
+        "--dms", "32",
+        "--beams", "2",
+        "--duration", "1",
+    ]
+
+    def test_plan_and_run_to_completion(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "fleet for" in out
+        assert "shards" in out
+        assert "real time" in out
+
+    def test_ledger_write_then_resume(self, capsys, tmp_path):
+        path = tmp_path / "run.json"
+        assert main(self.ARGS + ["--ledger", str(path)]) == 0
+        assert path.exists()
+        capsys.readouterr()
+        assert main(self.ARGS + ["--resume", str(path)]) == 0
+        assert "resumed" in capsys.readouterr().out
+
+    def test_inject_still_completes(self, capsys):
+        # Enough beams that the plan spans two devices, so one injected
+        # crash leaves a survivor to finish the survey.
+        argv = [
+            "sched",
+            "--inventory", "HD7970:2",
+            "--dms", "32",
+            "--beams", "60",
+            "--duration", "1",
+            "--inject",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "1 crash(es)" in out
+        assert "degradation" in out
+
+    def test_malformed_inventory_fails_cleanly(self, capsys):
+        assert main(["sched", "--inventory", "HD7970"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_device_fails_cleanly(self, capsys):
+        assert main(["sched", "--inventory", "RTX4090:2"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):

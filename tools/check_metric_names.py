@@ -7,6 +7,8 @@ Walks every ``registry.counter(...)`` / ``.gauge(...)`` /
 ``docs/observability.md``:
 
 * names match ``repro_<words>`` in snake_case (``METRIC_NAME_RE``);
+* names belong to a sanctioned subsystem family (``FAMILY_PREFIXES``) —
+  new subsystems register their prefix here first;
 * counters end in ``_total``; gauges and histograms never do;
 * histograms end in a unit word (``_seconds``, ``_bytes``, ...);
 * one name is registered with exactly one instrument kind everywhere.
@@ -24,6 +26,16 @@ import sys
 from pathlib import Path
 
 METRIC_NAME_RE = re.compile(r"^repro(_[a-z0-9]+)*$")
+FAMILY_PREFIXES = (
+    "repro_fleet_",
+    "repro_kernel_",
+    "repro_pipeline_",
+    "repro_sched_",
+    "repro_service_",
+    "repro_sim_",
+    "repro_trace_",
+    "repro_tuner_",
+)
 HISTOGRAM_UNITS = ("_seconds", "_bytes", "_gflops", "_ratio", "_samples")
 METHODS = {"counter", "gauge", "histogram"}
 
@@ -97,6 +109,11 @@ def main() -> int:
         if not METRIC_NAME_RE.match(name):
             errors.append(f"{at}: {name!r} is not snake_case repro_*")
             continue
+        if not name.startswith(FAMILY_PREFIXES):
+            errors.append(
+                f"{at}: {name!r} is not in a sanctioned family "
+                f"(add its prefix to FAMILY_PREFIXES)"
+            )
         if kind == "counter" and not name.endswith("_total"):
             errors.append(f"{at}: counter {name!r} must end in '_total'")
         if kind != "counter" and name.endswith("_total"):
