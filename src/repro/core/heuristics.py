@@ -23,7 +23,6 @@ compares their quality against the exhaustive optimum.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 
 from repro.astro.dm_trials import DMTrialGrid
@@ -34,6 +33,7 @@ from repro.core.tuner import ConfigurationSample, TuningResult
 from repro.errors import TuningError
 from repro.hardware.device import DeviceSpec
 from repro.hardware.model import PerformanceModel
+from repro.utils.rng import RandomStreams
 from repro.utils.validation import require_positive_int
 
 
@@ -158,7 +158,7 @@ def random_search(
     """Uniformly sample ``budget`` meaningful configurations."""
     require_positive_int(budget, "budget")
     evaluator = _make_evaluator(device, setup, grid, samples)
-    rng = random.Random(seed)
+    rng = RandomStreams(seed).python("random-search")
     n = min(budget, len(evaluator.configs))
     for config in rng.sample(evaluator.configs, n):
         evaluator.evaluate(config)
@@ -189,7 +189,7 @@ def simulated_annealing(
     if initial_temperature <= 0:
         raise TuningError("initial_temperature must be positive")
     evaluator = _make_evaluator(device, setup, grid, samples)
-    rng = random.Random(seed)
+    rng = RandomStreams(seed).python("annealing")
 
     current = evaluator.evaluate(rng.choice(evaluator.configs))
     best = current
@@ -242,7 +242,7 @@ def budgeted_tune(
     """
     require_positive_int(budget, "budget")
     evaluator = _make_evaluator(device, setup, grid, samples)
-    rng = random.Random(seed)
+    rng = RandomStreams(seed).python("budgeted-tune")
     ceiling = min(budget, len(evaluator.configs))
 
     n_probes = max(1, min(budget // 2, len(evaluator.configs)))
@@ -281,7 +281,7 @@ def hill_climb(
     """Greedy best-neighbour ascent with random restarts."""
     require_positive_int(budget, "budget")
     evaluator = _make_evaluator(device, setup, grid, samples)
-    rng = random.Random(seed)
+    rng = RandomStreams(seed).python("hill-climb")
 
     restarts = 0
     # Restarts may land on already-evaluated configurations without

@@ -81,10 +81,19 @@ class DedispersionPlan:
         return self.samples + int(self.delays.max(initial=0))
 
     def execute(
-        self, input_data: np.ndarray, out: np.ndarray | None = None
+        self,
+        input_data: np.ndarray,
+        out: np.ndarray | None = None,
+        backend: str | None = None,
     ) -> np.ndarray:
-        """Dedisperse one batch; returns the ``(n_dms, samples)`` matrix."""
-        return self.kernel.execute(input_data, self.delays, out=out)
+        """Dedisperse one batch; returns the ``(n_dms, samples)`` matrix.
+
+        ``backend`` overrides the kernel's executor for this batch (see
+        :mod:`repro.opencl_sim.backend`); by default the plan's kernel
+        auto-selects, so pipelines pick up the vectorized fast path
+        transparently.
+        """
+        return self.kernel.execute(input_data, self.delays, out=out, backend=backend)
 
     def enqueue(self, queue, input_buffer, output_buffer):
         """Run the kernel through a mini-runtime command queue.

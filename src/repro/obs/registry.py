@@ -19,6 +19,7 @@ their unit as the last word (``_seconds``, ``_gflops``, ``_margin``,
 
 from __future__ import annotations
 
+import math
 import re
 import threading
 from collections import deque
@@ -40,10 +41,13 @@ def percentile(ordered: list[float], fraction: float) -> float:
 
     The single shared implementation behind every percentile in the
     repository (service latency p50/p95, histogram quantile export,
-    multi-beam aggregation).
+    multi-beam aggregation).  Uses the standard nearest-rank formula
+    ``rank = ceil(fraction * n)`` (1-based) — p50 of an even-length
+    population is the lower of the two middle values, not the upper one
+    Python's banker's-rounding ``round`` used to pick.
     """
-    rank = max(0, min(len(ordered) - 1, round(fraction * (len(ordered) - 1))))
-    return ordered[rank]
+    rank = math.ceil(fraction * len(ordered))
+    return ordered[max(0, min(len(ordered) - 1, rank - 1))]
 
 
 def _check_name(name: str) -> str:

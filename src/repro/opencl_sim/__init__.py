@@ -8,8 +8,20 @@ for tests over the generated structure), and builds an equivalent NumPy
 executor that performs the *same tiled decomposition* a work-group grid
 would — so the correctness of every point of the tuning space is testable
 against the sequential reference.
+
+Two executors implement each kernel (see
+:mod:`~repro.opencl_sim.backend`): the tiled reference and the
+bit-identical vectorized fast path of
+:mod:`~repro.opencl_sim.vectorized`, selected per launch via
+``backend="tiled"|"vectorized"|"auto"`` or ``$REPRO_KERNEL_BACKEND``.
 """
 
+from repro.opencl_sim.backend import (
+    BACKEND_ENV_VAR,
+    KERNEL_BACKENDS,
+    normalize_backend,
+    resolve_backend,
+)
 from repro.opencl_sim.ndrange import NDRange, WorkGroup
 from repro.opencl_sim.runtime import (
     Buffer,
@@ -21,9 +33,20 @@ from repro.opencl_sim.runtime import (
 )
 from repro.opencl_sim.codegen import generate_kernel_source, build_kernel
 from repro.opencl_sim.kernel import DedispersionKernel
-from repro.opencl_sim.batch import BatchedDedispersionKernel, build_batched_kernel
+from repro.opencl_sim.batch import (
+    BatchedDedispersionKernel,
+    build_batched_kernel,
+    execute_sharded,
+)
+from repro.opencl_sim.vectorized import accumulate_channels
 
 __all__ = [
+    "BACKEND_ENV_VAR",
+    "KERNEL_BACKENDS",
+    "normalize_backend",
+    "resolve_backend",
+    "accumulate_channels",
+    "execute_sharded",
     "NDRange",
     "WorkGroup",
     "Buffer",

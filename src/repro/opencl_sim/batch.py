@@ -22,8 +22,26 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ValidationError
-from repro.opencl_sim.kernel import DedispersionKernel
+from repro.opencl_sim.kernel import DedispersionKernel, check_out
 from repro.utils.validation import require_positive_int
+
+
+def check_delay_table(delay_table, channels: int) -> np.ndarray:
+    """Coerce and validate a delay table: ``(n_dms, channels)``, >= 0.
+
+    Accepts anything :func:`np.asarray` does (lists included) and raises
+    :class:`ValidationError` — not ``AttributeError``/``IndexError`` —
+    on the wrong rank, channel count or negative shifts.
+    """
+    delay_table = np.asarray(delay_table)
+    if delay_table.ndim != 2 or delay_table.shape[1] != channels:
+        raise ValidationError(
+            f"delay table must have shape (n_dms, {channels}), got "
+            f"{delay_table.shape}"
+        )
+    if np.any(delay_table < 0):
+        raise ValidationError("delay table must be non-negative")
+    return delay_table
 
 
 @dataclass(frozen=True)
@@ -46,14 +64,17 @@ class BatchedDedispersionKernel:
         input_data: np.ndarray,
         delay_table: np.ndarray,
         out: np.ndarray | None = None,
+        backend: str | None = None,
     ) -> np.ndarray:
         """Dedisperse every beam of a ``(beams, channels, t)`` batch.
 
         Returns ``(beams, n_dms, samples)``.  All beams share the delay
         table — they observe through the same setup — exactly as the
-        paper's multi-beam argument assumes.
+        paper's multi-beam argument assumes.  ``backend`` overrides the
+        wrapped kernel's executor for every beam of this launch.
         """
         input_data = np.asarray(input_data)
+        delay_table = check_delay_table(delay_table, self.kernel.channels)
         if input_data.ndim != 3:
             raise ValidationError(
                 "batched input must have shape (beams, channels, t), got "
@@ -69,14 +90,11 @@ class BatchedDedispersionKernel:
             out = np.zeros(
                 (self.n_beams, n_dms, self.kernel.samples), dtype=np.float32
             )
-        elif out.shape != (self.n_beams, n_dms, self.kernel.samples):
-            raise ValidationError(
-                f"out must have shape {(self.n_beams, n_dms, self.kernel.samples)},"
-                f" got {out.shape}"
-            )
+        else:
+            check_out(out, (self.n_beams, n_dms, self.kernel.samples))
         for beam in range(self.n_beams):
             self.kernel.execute(
-                input_data[beam], delay_table, out=out[beam]
+                input_data[beam], delay_table, out=out[beam], backend=backend
             )
         return out
 
@@ -86,6 +104,7 @@ def execute_sharded(
     input_batch: np.ndarray,
     delay_table: np.ndarray,
     shards,
+    backend: str | None = None,
 ) -> np.ndarray:
     """Execute one time batch shard by shard and stitch the output.
 
@@ -96,7 +115,8 @@ def execute_sharded(
     bit (asserted by ``tests/sched/test_shard.py``).  ``shards`` must
     all belong to one time batch and jointly cover every (beam, DM row)
     of the ``(beams, channels, t)`` input exactly once; ``config`` must
-    tile every shard's DM count.
+    tile every shard's DM count.  ``backend`` selects the executor for
+    every shard launch (both executors stitch bit-identically).
     """
     from repro.opencl_sim.codegen import build_kernel
 
@@ -106,6 +126,7 @@ def execute_sharded(
             "sharded input must have shape (beams, channels, t), got "
             f"{input_batch.shape}"
         )
+    delay_table = check_delay_table(delay_table, input_batch.shape[1])
     shards = tuple(shards)
     if not shards:
         raise ValidationError("execute_sharded needs at least one shard")
@@ -118,6 +139,12 @@ def execute_sharded(
             raise ValidationError(
                 "execute_sharded covers a single uniform time batch; "
                 f"shard {shard.shard_id} does not match"
+            )
+        if shard.beam < 0 or shard.dm_start < 0:
+            # Negative indices would slice from the end of the arrays and
+            # double-cover rows without tripping the coverage check.
+            raise ValidationError(
+                f"shard {shard.shard_id} has a negative beam or dm_start"
             )
         if shard.beam >= n_beams or shard.dm_start + shard.dm_count > n_dms:
             raise ValidationError(
@@ -138,6 +165,7 @@ def execute_sharded(
             input_batch[shard.beam],
             delay_table[shard.dm_start:stop],
             out=out[shard.beam, shard.dm_start:stop],
+            backend=backend,
         )
     return out
 

@@ -141,8 +141,14 @@ def build_kernel(
     channels: int,
     samples: int,
     use_local_staging: bool = True,
+    backend: str = "auto",
 ):
-    """Generate source and return the executable kernel object."""
+    """Generate source and return the executable kernel object.
+
+    ``backend`` sets the kernel's default executor — ``"tiled"``,
+    ``"vectorized"`` or ``"auto"`` (see :mod:`repro.opencl_sim.backend`).
+    """
+    from repro.opencl_sim.backend import normalize_backend
     from repro.opencl_sim.kernel import DedispersionKernel
 
     source = generate_kernel_source(config, channels, samples, use_local_staging)
@@ -152,4 +158,5 @@ def build_kernel(
         samples=samples,
         source=source,
         use_local_staging=use_local_staging,
+        backend=normalize_backend(backend),
     )

@@ -38,11 +38,14 @@ class StreamingDedispersion:
     The plan's batch length must equal the chunk payload; the chunk overlap
     must cover the plan's maximum delay.  Both are checked per chunk so a
     misconfigured front-end fails loudly rather than producing silently
-    wrong tails.
+    wrong tails.  ``backend`` pins the kernel executor for every chunk
+    (default: the plan's auto-selection — see
+    :mod:`repro.opencl_sim.backend`).
     """
 
-    def __init__(self, plan: DedispersionPlan):
+    def __init__(self, plan: DedispersionPlan, backend: str | None = None):
         self.plan = plan
+        self.backend = backend
         self._chunk_seconds = plan.samples / plan.setup.samples_per_second
         self.processed = 0
 
@@ -78,7 +81,7 @@ class StreamingDedispersion:
             sequence=chunk.sequence,
             **labels,
         ):
-            output = self.plan.execute(chunk.data)
+            output = self.plan.execute(chunk.data, backend=self.backend)
         seconds = self.plan.predict().seconds
         self.processed += 1
         registry = get_registry()

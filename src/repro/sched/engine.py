@@ -516,6 +516,43 @@ class ExecutionEngine:
         )
 
     # ------------------------------------------------------------------
+    # Numeric execution
+    # ------------------------------------------------------------------
+    def execute_numeric(
+        self,
+        input_batch,
+        config,
+        batch: int = 0,
+        backend: str | None = None,
+    ):
+        """Numerically dedisperse one time batch through this engine's shards.
+
+        The virtual-clock :meth:`run` models *when* shards finish; this
+        runs the actual arithmetic for time batch ``batch``, pushing the
+        engine's own shard decomposition through
+        :func:`repro.opencl_sim.batch.execute_sharded` — so the sharding
+        the scheduler dispatches is exactly the sharding that produces
+        numbers, and the stitched output is bit-identical to an unsharded
+        batched launch.  ``input_batch`` is ``(n_beams, channels, t)``;
+        ``config`` must tile every shard's DM count (tuned configurations
+        need not tile remainder DM chunks, so the caller chooses it);
+        ``backend`` selects the kernel executor per shard launch.
+        Returns ``(n_beams, n_dms, samples)``.
+        """
+        from repro.astro.dispersion import delay_table
+        from repro.opencl_sim.batch import execute_sharded
+
+        shards = tuple(s for s in self.shards if s.batch == batch)
+        if not shards:
+            raise SchedulerError(
+                f"engine has no shards for time batch {batch}"
+            )
+        delays = delay_table(self.setup, self.grid.values)
+        return execute_sharded(
+            config, input_batch, delays, shards, backend=backend
+        )
+
+    # ------------------------------------------------------------------
     # Dispatch helpers
     # ------------------------------------------------------------------
     def _estimate_makespan(self, pending: list[Shard]) -> float:

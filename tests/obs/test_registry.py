@@ -106,8 +106,15 @@ class TestHistogram:
             [float(v) for v in range(1, 101)], 0.5
         )
         q = h.quantiles((0.5, 0.95))
-        assert q[0.5] == 51.0  # nearest rank round(0.5 * 99) = 50
-        assert q[0.95] == 95.0  # nearest rank round(0.95 * 99) = 94
+        assert q[0.5] == 50.0  # nearest rank ceil(0.5 * 100) = 50 (1-based)
+        assert q[0.95] == 95.0  # nearest rank ceil(0.95 * 100) = 95 (1-based)
+
+    def test_even_length_p50_is_lower_middle(self, registry):
+        # Regression: round() (banker's rounding) used to land one rank
+        # high on even-length reservoirs; nearest-rank p50 of [1..4] is 2.
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.0
+        assert percentile([1.0, 2.0], 0.5) == 1.0
+        assert percentile([1.0, 2.0, 3.0], 0.5) == 2.0
 
     def test_empty_histogram_percentile_is_zero(self, registry):
         h = registry.histogram("repro_test_latency_seconds")

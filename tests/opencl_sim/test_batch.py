@@ -64,6 +64,40 @@ class TestBatchedKernel:
         with pytest.raises(ValidationError):
             batched.execute(beams[0], table)
 
+    def test_accepts_delay_table_as_list(self, toy_low, batch_inputs):
+        # Regression: shape[0] was dereferenced before np.asarray, so a
+        # plain nested list crashed with AttributeError.
+        beams, table = batch_inputs
+        batched = build_batched_kernel(CONFIG, toy_low.channels, 400, 3)
+        np.testing.assert_array_equal(
+            batched.execute(beams, table.tolist()),
+            batched.execute(beams, table),
+        )
+
+    def test_rejects_1d_delay_table(self, toy_low, batch_inputs):
+        beams, _ = batch_inputs
+        batched = build_batched_kernel(CONFIG, toy_low.channels, 400, 3)
+        with pytest.raises(ValidationError, match="delay table"):
+            batched.execute(beams, [0] * toy_low.channels)
+
+    def test_rejects_negative_delay_table(self, toy_low, batch_inputs):
+        beams, table = batch_inputs
+        batched = build_batched_kernel(CONFIG, toy_low.channels, 400, 3)
+        bad = np.asarray(table).copy()
+        bad[0, 0] = -3
+        with pytest.raises(ValidationError, match="non-negative"):
+            batched.execute(beams, bad)
+
+    def test_rejects_non_float32_out(self, toy_low, toy_grid, batch_inputs):
+        beams, table = batch_inputs
+        batched = build_batched_kernel(CONFIG, toy_low.channels, 400, 3)
+        with pytest.raises(ValidationError, match="float32"):
+            batched.execute(
+                beams,
+                table,
+                out=np.zeros((3, toy_grid.n_dms, 400), dtype=np.float64),
+            )
+
 
 class TestMultibeamMetrics:
     CONFIG = KernelConfiguration(32, 8, 25, 4)

@@ -108,6 +108,17 @@ class TestValidation:
                 data, table, out=np.zeros((1, 400), dtype=np.float32)
             )
 
+    def test_rejects_non_float32_out(self, toy_low, toy_grid, rng):
+        # Regression: a float64 out silently widened the float32
+        # accumulation and broke bit-for-bit stitching guarantees.
+        data = make_input(toy_low, toy_grid, rng)
+        table = delay_table(toy_low, toy_grid.values)
+        kernel = build_kernel(config(), toy_low.channels, 400)
+        with pytest.raises(ValidationError, match="float32"):
+            kernel.execute(
+                data, table, out=np.zeros((toy_grid.n_dms, 400), dtype=np.float64)
+            )
+
     def test_ndrange_exposed(self, toy_low, toy_grid):
         kernel = build_kernel(config(), toy_low.channels, 400)
         ndr = kernel.ndrange(toy_grid.n_dms)

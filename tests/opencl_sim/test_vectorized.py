@@ -1,0 +1,214 @@
+"""Tests for the vectorized fast-path executor and backend selection.
+
+The central claim is *exact* float32 equality with the tiled reference —
+every assertion here uses ``np.array_equal`` / ``assert_array_equal``,
+never ``allclose``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.astro.dispersion import delay_table
+from repro.core.config import KernelConfiguration
+from repro.core.space import TuningSpace
+from repro.errors import ValidationError
+from repro.obs import use_registry
+from repro.opencl_sim.backend import (
+    BACKEND_ENV_VAR,
+    backend_from_env,
+    normalize_backend,
+    resolve_backend,
+)
+from repro.opencl_sim.batch import build_batched_kernel
+from repro.opencl_sim.codegen import build_kernel
+from tests.conftest import make_input
+
+
+def config(wt=20, wd=2, et=5, ed=2) -> KernelConfiguration:
+    return KernelConfiguration(
+        work_items_time=wt, work_items_dm=wd, elements_time=et, elements_dm=ed
+    )
+
+
+class TestBackendResolution:
+    def test_explicit_choice_wins(self):
+        assert resolve_backend("tiled", 1000) == "tiled"
+        assert resolve_backend("vectorized", 1) == "vectorized"
+
+    def test_none_means_auto_heuristic(self):
+        assert resolve_backend(None, 1) == "tiled"
+        assert resolve_backend(None, 2) == "vectorized"
+        assert resolve_backend("auto", 64) == "vectorized"
+
+    def test_env_pins_auto(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "tiled")
+        assert resolve_backend("auto", 1000) == "tiled"
+        monkeypatch.setenv(BACKEND_ENV_VAR, "vectorized")
+        assert resolve_backend(None, 1) == "vectorized"
+
+    def test_env_auto_defers_to_heuristic(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "auto")
+        assert backend_from_env() is None
+        assert resolve_backend(None, 2) == "vectorized"
+
+    def test_explicit_choice_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "vectorized")
+        assert resolve_backend("tiled", 1000) == "tiled"
+
+    def test_empty_env_ignored(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "")
+        assert backend_from_env() is None
+
+    def test_bad_env_value_rejected(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "gpu")
+        with pytest.raises(ValidationError, match="REPRO_KERNEL_BACKEND"):
+            resolve_backend("auto", 4)
+
+    def test_bad_argument_rejected(self):
+        with pytest.raises(ValidationError, match="unknown kernel backend"):
+            normalize_backend("fast")
+
+    def test_build_kernel_validates_backend(self, toy_low):
+        with pytest.raises(ValidationError, match="unknown kernel backend"):
+            build_kernel(config(), toy_low.channels, 400, backend="simd")
+
+
+class TestBitIdentity:
+    def test_matches_tiled_exactly(self, toy_low, toy_grid, rng):
+        data = make_input(toy_low, toy_grid, rng)
+        table = delay_table(toy_low, toy_grid.values)
+        kernel = build_kernel(config(), toy_low.channels, 400)
+        tiled = kernel.execute(data, table, backend="tiled")
+        fast = kernel.execute(data, table, backend="vectorized")
+        assert np.array_equal(tiled, fast)
+        assert fast.dtype == np.float32
+
+    def test_matches_without_local_staging(self, toy_low, toy_grid, rng):
+        data = make_input(toy_low, toy_grid, rng)
+        table = delay_table(toy_low, toy_grid.values)
+        kernel = build_kernel(
+            config(), toy_low.channels, 400, use_local_staging=False
+        )
+        assert np.array_equal(
+            kernel.execute(data, table, backend="tiled"),
+            kernel.execute(data, table, backend="vectorized"),
+        )
+
+    @pytest.mark.parametrize("setup_fixture", ["toy_low", "toy_high"])
+    def test_sampled_tuning_space(self, setup_fixture, toy_grid, rng, request):
+        """Exact equality across the meaningful tuning space, both setups."""
+        setup = request.getfixturevalue(setup_fixture)
+        from repro.hardware.catalog import hd7970
+
+        space = TuningSpace(
+            device=hd7970(),
+            setup=setup,
+            grid=toy_grid,
+            samples=setup.samples_per_batch,
+        )
+        configs = space.meaningful()
+        assert configs, "tuning space unexpectedly empty"
+        # Deterministic sample spread over the whole space.
+        step = max(1, len(configs) // 12)
+        sampled = configs[::step]
+        data = make_input(setup, toy_grid, rng)
+        table = delay_table(setup, toy_grid.values)
+        for cfg in sampled:
+            kernel = build_kernel(cfg, setup.channels, setup.samples_per_batch)
+            tiled = kernel.execute(data, table, backend="tiled")
+            fast = kernel.execute(data, table, backend="vectorized")
+            assert np.array_equal(tiled, fast), f"diverged at {cfg}"
+
+    def test_single_work_group_case(self, toy_low, rng):
+        # The one geometry the auto heuristic keeps on the tiled path.
+        cfg = config(wt=100, wd=4, et=4, ed=2)
+        from repro.astro.dm_trials import DMTrialGrid
+
+        grid = DMTrialGrid(n_dms=8, first=0.0, step=1.0)
+        data = make_input(toy_low, grid, rng)
+        table = delay_table(toy_low, grid.values)
+        kernel = build_kernel(cfg, toy_low.channels, 400)
+        assert kernel.ndrange(8).n_work_groups == 1
+        assert np.array_equal(
+            kernel.execute(data, table, backend="tiled"),
+            kernel.execute(data, table, backend="vectorized"),
+        )
+
+    def test_out_parameter_reused_and_identical(self, toy_low, toy_grid, rng):
+        data = make_input(toy_low, toy_grid, rng)
+        table = delay_table(toy_low, toy_grid.values)
+        kernel = build_kernel(config(), toy_low.channels, 400)
+        out = np.full((toy_grid.n_dms, 400), 3.0, dtype=np.float32)
+        result = kernel.execute(data, table, out=out, backend="vectorized")
+        assert result is out
+        assert np.array_equal(out, kernel.execute(data, table, backend="tiled"))
+
+
+class TestBackendPlumbing:
+    def test_kernel_default_backend_field(self, toy_low):
+        kernel = build_kernel(
+            config(), toy_low.channels, 400, backend="vectorized"
+        )
+        assert kernel.backend == "vectorized"
+        assert "auto" == build_kernel(config(), toy_low.channels, 400).backend
+
+    def test_batched_backend_equality(self, toy_low, toy_grid, rng):
+        beams = np.stack(
+            [make_input(toy_low, toy_grid, rng) for _ in range(2)]
+        )
+        table = delay_table(toy_low, toy_grid.values)
+        batched = build_batched_kernel(config(), toy_low.channels, 400, 2)
+        assert np.array_equal(
+            batched.execute(beams, table, backend="tiled"),
+            batched.execute(beams, table, backend="vectorized"),
+        )
+
+    def test_plan_execute_backend_equality(self, toy_low, toy_grid, rng):
+        from repro.core.plan import DedispersionPlan
+        from repro.hardware.catalog import hd7970
+
+        plan = DedispersionPlan.create(
+            toy_low,
+            toy_grid,
+            hd7970(),
+            config=KernelConfiguration(16, 4, 5, 2),
+            samples=toy_low.samples_per_second,
+        )
+        data = make_input(toy_low, toy_grid, rng)
+        assert np.array_equal(
+            plan.execute(data, backend="tiled"),
+            plan.execute(data, backend="vectorized"),
+        )
+
+    def test_env_var_reaches_kernel(self, toy_low, toy_grid, rng, monkeypatch):
+        data = make_input(toy_low, toy_grid, rng)
+        table = delay_table(toy_low, toy_grid.values)
+        kernel = build_kernel(config(), toy_low.channels, 400)
+        monkeypatch.setenv(BACKEND_ENV_VAR, "tiled")
+        with use_registry() as registry:
+            kernel.execute(data, table)
+            assert registry.counter(
+                "repro_kernel_launches_total", backend="tiled"
+            ).value == 1
+
+
+class TestKernelMetrics:
+    def test_launches_counted_per_backend(self, toy_low, toy_grid, rng):
+        data = make_input(toy_low, toy_grid, rng)
+        table = delay_table(toy_low, toy_grid.values)
+        kernel = build_kernel(config(), toy_low.channels, 400)
+        with use_registry() as registry:
+            kernel.execute(data, table, backend="tiled")
+            kernel.execute(data, table, backend="vectorized")
+            kernel.execute(data, table, backend="vectorized")
+            assert registry.counter(
+                "repro_kernel_launches_total", backend="tiled"
+            ).value == 1
+            assert registry.counter(
+                "repro_kernel_launches_total", backend="vectorized"
+            ).value == 2
+            hist = registry.histogram(
+                "repro_kernel_execute_seconds", backend="vectorized"
+            )
+            assert hist.count == 2
+            assert hist.sum >= 0.0

@@ -1,9 +1,11 @@
-"""Property-based tests for the tiled kernel executor.
+"""Property-based tests for the kernel executors.
 
 The strongest correctness property in the repository: for *any* kernel
 configuration that tiles the problem and *any* non-negative delay table
 (not just physical ones), the tiled work-group execution must reproduce
-the sequential Algorithm 1 bit-for-bit (up to float32 addition order).
+the sequential Algorithm 1 bit-for-bit (up to float32 addition order),
+and the vectorized fast path must match the tiled executor *exactly*
+(float32 bitwise — both add channels in the same order).
 """
 
 import numpy as np
@@ -67,18 +69,31 @@ class TestKernelEquivalence:
     def test_tiled_execution_matches_reference(self, problem):
         channels, samples, n_dms, config, delays, data = problem
         kernel = build_kernel(config, channels, samples)
-        out = kernel.execute(data, delays)
+        out = kernel.execute(data, delays, backend="tiled")
         expected = reference(data, delays, samples)
         np.testing.assert_allclose(out, expected, rtol=1e-5, atol=1e-5)
+
+    @settings(max_examples=60, deadline=None)
+    @given(problem=problems())
+    def test_vectorized_bitwise_equals_tiled(self, problem):
+        # The fast path's contract is *exact* float32 equality, not
+        # allclose: both executors add the channels in the same order.
+        channels, samples, n_dms, config, delays, data = problem
+        kernel = build_kernel(config, channels, samples)
+        tiled = kernel.execute(data, delays, backend="tiled")
+        fast = kernel.execute(data, delays, backend="vectorized")
+        np.testing.assert_array_equal(tiled, fast)
 
     @settings(max_examples=30, deadline=None)
     @given(problem=problems())
     def test_staged_equals_direct(self, problem):
         channels, samples, n_dms, config, delays, data = problem
-        staged = build_kernel(config, channels, samples).execute(data, delays)
+        staged = build_kernel(config, channels, samples).execute(
+            data, delays, backend="tiled"
+        )
         direct = build_kernel(
             config, channels, samples, use_local_staging=False
-        ).execute(data, delays)
+        ).execute(data, delays, backend="tiled")
         np.testing.assert_array_equal(staged, direct)
 
     @settings(max_examples=30, deadline=None)

@@ -144,3 +144,60 @@ class TestShardedExecutionIsLossless:
         )
         with pytest.raises(ValidationError, match="overlap"):
             execute_sharded(config, batch, table, list(shards) + [shards[0]])
+
+    def test_rejects_negative_shard_coordinates(self, toy_low, toy_grid, rng):
+        # Regression: a duck-typed shard with beam=-1 or dm_start=-2 used
+        # to slice from the end of the arrays and double-cover rows
+        # without tripping the coverage check (Shard itself rejects
+        # negatives, but execute_sharded must not rely on that).
+        import dataclasses
+
+        table = delay_table(toy_low, toy_grid.values)
+        t = toy_low.samples_per_batch + int(table.max())
+        batch = rng.normal(size=(2, toy_low.channels, t)).astype(np.float32)
+        config = KernelConfiguration(
+            work_items_time=4, work_items_dm=2, elements_time=2, elements_dm=1
+        )
+        shards = shard_survey(
+            toy_low, toy_grid, n_beams=2, duration_s=1.0, max_dms_per_shard=2
+        )
+
+        @dataclasses.dataclass(frozen=True)
+        class RawShard:
+            beam: int
+            dm_start: int
+            dm_count: int
+            batch: int
+            samples: int
+            shard_id: str = "raw"
+
+        def with_raw(beam, dm_start):
+            raw = RawShard(
+                beam=beam,
+                dm_start=dm_start,
+                dm_count=shards[0].dm_count,
+                batch=shards[0].batch,
+                samples=shards[0].samples,
+            )
+            return [raw] + list(shards[1:])
+
+        with pytest.raises(ValidationError, match="negative"):
+            execute_sharded(config, batch, table, with_raw(-1, 0))
+        with pytest.raises(ValidationError, match="negative"):
+            execute_sharded(config, batch, table, with_raw(0, -2))
+
+    def test_backend_choice_stitches_identically(self, toy_low, toy_grid, rng):
+        table = delay_table(toy_low, toy_grid.values)
+        t = toy_low.samples_per_batch + int(table.max())
+        batch = rng.normal(size=(2, toy_low.channels, t)).astype(np.float32)
+        config = KernelConfiguration(
+            work_items_time=4, work_items_dm=2, elements_time=2, elements_dm=1
+        )
+        shards = shard_survey(
+            toy_low, toy_grid, n_beams=2, duration_s=1.0, max_dms_per_shard=2
+        )
+        tiled = execute_sharded(config, batch, table, shards, backend="tiled")
+        fast = execute_sharded(
+            config, batch, table, shards, backend="vectorized"
+        )
+        assert np.array_equal(tiled, fast)

@@ -8,7 +8,10 @@ import pytest
 from repro.errors import ValidationError
 from repro.utils.rng import RandomStreams, derive_seed
 
-SCHED_SRC = Path(__file__).resolve().parents[2] / "src" / "repro" / "sched"
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+SCHED_SRC = SRC / "sched"
+#: Modules outside sched that must also draw only from RandomStreams.
+EXTRA_SEEDED_MODULES = (SRC / "core" / "heuristics.py",)
 
 
 class TestDeriveSeed:
@@ -104,11 +107,18 @@ class TestOrderIndependentDraws:
 
 
 class TestNoBareRandomInSched:
-    """The scheduler must draw only from RandomStreams (reproducibility)."""
+    """Stochastic modules must draw only from RandomStreams (reproducibility).
+
+    Covers every scheduler source plus the tuning heuristics
+    (``core.heuristics``), which PR 3 left on bare ``random.Random``.
+    """
 
     def _modules(self):
         files = sorted(SCHED_SRC.glob("*.py"))
         assert files, f"no scheduler sources under {SCHED_SRC}"
+        for extra in EXTRA_SEEDED_MODULES:
+            assert extra.exists(), f"lint target {extra} is missing"
+            files.append(extra)
         return [(path, ast.parse(path.read_text())) for path in files]
 
     def test_random_module_never_imported(self):
