@@ -28,6 +28,7 @@ from repro.astro.dm_trials import DMTrialGrid
 from repro.astro.observation import apertif, lofar
 from repro.core.config import KernelConfiguration
 from repro.opencl_sim.codegen import build_kernel
+from repro.run import ExecutionRequest, execute
 
 DEFAULT_OUT = Path(__file__).resolve().parents[1] / "BENCH_kernels.json"
 
@@ -65,15 +66,20 @@ def bench_scale(label, setup_factory, samples, n_dms, dm_step, config, repeats):
     ).astype(np.float32)
     kernel = build_kernel(config, setup.channels, samples)
 
-    tiled_out = kernel.execute(data, table, backend="tiled")
-    fast_out = kernel.execute(data, table, backend="vectorized")
+    def run(backend):
+        return execute(
+            ExecutionRequest(
+                data=data, kernel=kernel, delay_table=table, backend=backend
+            )
+        ).output
+
+    tiled_out = run("tiled")
+    fast_out = run("vectorized")
     bit_identical = bool(np.array_equal(tiled_out, fast_out))
     assert bit_identical, f"{label}: executors diverged"
 
-    tiled_s = _time(lambda: kernel.execute(data, table, backend="tiled"), repeats)
-    fast_s = _time(
-        lambda: kernel.execute(data, table, backend="vectorized"), repeats
-    )
+    tiled_s = _time(lambda: run("tiled"), repeats)
+    fast_s = _time(lambda: run("vectorized"), repeats)
     return {
         "scale": label,
         "setup": setup.name,

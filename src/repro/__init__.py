@@ -48,6 +48,7 @@ from repro.errors import (
     SchedulerError,
     ShardError,
     LedgerError,
+    SchemaVersionError,
 )
 from repro.astro import (
     ObservationSetup,
@@ -108,6 +109,21 @@ from repro.sched import (
     load_ledger,
     shard_survey,
 )
+from repro.run import (
+    EXECUTION_MODES,
+    ExecutionRequest,
+    ExecutionResult,
+    execute,
+)
+from repro.search import (
+    MatchedFilterDetector,
+    SearchConfig,
+    SearchReport,
+    SiftPolicy,
+    StreamingSearch,
+    search_stream,
+    sift_candidates,
+)
 from repro.utils import RandomStreams, derive_seed
 
 __version__ = "1.1.0"
@@ -133,6 +149,7 @@ __all__ = [
     "SchedulerError",
     "ShardError",
     "LedgerError",
+    "SchemaVersionError",
     # astro substrate
     "ObservationSetup",
     "apertif",
@@ -186,6 +203,19 @@ __all__ = [
     "Shard",
     "load_ledger",
     "shard_survey",
+    # unified execution facade
+    "EXECUTION_MODES",
+    "ExecutionRequest",
+    "ExecutionResult",
+    "execute",
+    # real-time candidate search
+    "MatchedFilterDetector",
+    "SearchConfig",
+    "SearchReport",
+    "SiftPolicy",
+    "StreamingSearch",
+    "search_stream",
+    "sift_candidates",
     # seeded randomness
     "RandomStreams",
     "derive_seed",

@@ -21,6 +21,11 @@ Subcommands:
 * ``sched`` — plan a fleet for a survey, then execute every shard on it
   through the fault-tolerant scheduler (``--inject`` adds a crash, a
   straggler, and transient errors); writes/resumes run ledgers.
+* ``search`` — stream an injected-pulse synthetic observation through
+  the real-time candidate search (facade-executed dedispersion, boxcar
+  matched filtering, sifting with RFI vetoes) and verify the injected
+  candidate is recovered; ``--backend both`` runs the tiled and
+  vectorized kernel executors back to back.
 * ``obs`` — dump, export (Prometheus text / JSON lines / JSON), or reset
   the observability snapshot accumulated by the other subcommands.
 """
@@ -328,6 +333,65 @@ def _cmd_sched(args: argparse.Namespace) -> int:
     return 0 if report.complete else 1
 
 
+def _cmd_search(args: argparse.Namespace) -> int:
+    from repro.astro.signal_gen import SyntheticPulsar
+    from repro.astro.telescope import Telescope
+    from repro.core.plan import DedispersionPlan
+    from repro.search import SearchConfig, StreamingSearch
+
+    import dataclasses
+
+    setup = _setup_by_name(args.setup)
+    if args.samples:
+        setup = dataclasses.replace(setup, samples_per_batch=args.samples)
+    # The grid starts one step above DM 0 so the zero-DM RFI filter can
+    # run (it nulls the DM-0 series; see repro.astro.rfi).
+    grid = DMTrialGrid(n_dms=args.dms, first=args.dm_step, step=args.dm_step)
+    device = device_by_name(args.device)
+    plan = DedispersionPlan.create(setup, grid, device)
+    chunk_seconds = plan.samples / setup.samples_per_second
+
+    true_dm = float(grid.values[args.dms // 2])
+    true_trial = args.dms // 2
+    # A few pulses inside the stream regardless of chunk cadence.
+    period = args.chunks * chunk_seconds / 3.0
+    telescope = Telescope(setup=setup, noise_sigma=1.0, seed=args.seed)
+    beam = telescope.add_beam(
+        pulsars=(SyntheticPulsar(period, dm=true_dm, amplitude=0.3),)
+    )
+    chunks = list(
+        telescope.stream(beam, args.chunks, grid, chunk_seconds=chunk_seconds)
+    )
+
+    backends = (
+        ("tiled", "vectorized") if args.backend == "both" else (args.backend,)
+    )
+    config = SearchConfig(
+        snr_threshold=args.threshold, rfi_mitigation=args.rfi
+    )
+    print(plan.describe())
+    print(f"injected pulsar at DM {true_dm:.2f} (trial {true_trial})")
+    print()
+    all_ok = True
+    for backend in backends:
+        report = StreamingSearch(plan, config, backend=backend).run(
+            iter(chunks)
+        )
+        print(report.summary())
+        best = report.best
+        recovered = (
+            best is not None
+            and abs(best.best.dm_index - true_trial) <= 1
+            and best.best.snr >= args.threshold
+        )
+        all_ok &= recovered
+        print(f"  recovery [{backend}]: "
+              f"{'CORRECT' if recovered else 'MISSED'}")
+        print()
+    _persist_obs()
+    return 0 if all_ok else 1
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     import json
 
@@ -625,6 +689,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the export to PATH instead of stdout",
     )
     obs.set_defaults(func=_cmd_obs)
+
+    search = sub.add_parser(
+        "search", help="real-time candidate search on a synthetic stream"
+    )
+    search.add_argument("--device", default="HD7970")
+    search.add_argument("--setup", default="apertif")
+    search.add_argument(
+        "--backend", choices=["tiled", "vectorized", "auto", "both"],
+        default="both",
+        help="kernel executor(s); 'both' runs tiled then vectorized",
+    )
+    search.add_argument(
+        "--dms", type=int, default=32, help="trial-DM count"
+    )
+    search.add_argument("--dm-step", type=float, default=1.0)
+    search.add_argument(
+        "--chunks", type=int, default=3, help="stream chunks to search"
+    )
+    search.add_argument(
+        "--samples", type=int, default=1000,
+        help="output samples per chunk (0: the setup's full batch)",
+    )
+    search.add_argument(
+        "--threshold", type=float, default=6.0,
+        help="detection S/N floor",
+    )
+    search.add_argument("--seed", type=int, default=0)
+    search.add_argument(
+        "--no-rfi", dest="rfi", action="store_false",
+        help="skip channel masking and the zero-DM filter",
+    )
+    search.set_defaults(func=_cmd_search, rfi=True)
 
     survey = sub.add_parser(
         "survey", help="full survey pipeline on synthetic beams"

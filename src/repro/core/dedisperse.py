@@ -57,7 +57,10 @@ def dedisperse(
     plan = DedispersionPlan.create(
         setup, grid, device, config=config, samples=samples
     )
-    return plan.execute(input_data), plan
+    from repro.run import ExecutionRequest, execute
+
+    result = execute(ExecutionRequest(data=input_data, plan=plan))
+    return result.output, plan
 
 
 def dedisperse_reference(

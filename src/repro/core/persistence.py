@@ -31,7 +31,7 @@ from repro.astro.dm_trials import DMTrialGrid
 from repro.astro.observation import ObservationSetup, apertif, lofar
 from repro.core.config import KernelConfiguration
 from repro.core.tuner import ConfigurationSample, TuningResult
-from repro.errors import TuningError, ValidationError
+from repro.errors import SchemaVersionError, TuningError, ValidationError
 from repro.hardware.catalog import device_by_name
 from repro.hardware.device import DeviceSpec
 from repro.hardware.model import PerformanceModel
@@ -125,10 +125,16 @@ def load_sweep(
     produced by a different model parameterisation.
     """
     document = json.loads(Path(path).read_text())
-    if document.get("schema") not in SUPPORTED_SCHEMAS:
-        raise ValidationError(
-            f"unsupported sweep schema {document.get('schema')!r}"
-        )
+    schema = document.get("schema")
+    if schema not in SUPPORTED_SCHEMAS:
+        if isinstance(schema, int) and schema > max(SUPPORTED_SCHEMAS):
+            raise SchemaVersionError(
+                f"unsupported sweep schema {schema!r}: this file was "
+                f"written by a newer version of repro (this build reads "
+                f"schemas up to {max(SUPPORTED_SCHEMAS)}); upgrade repro "
+                f"or delete the store entry to re-tune"
+            )
+        raise ValidationError(f"unsupported sweep schema {schema!r}")
     device = device_by_name(document["device"])
     setup = _setup_by_name(document["setup"])
     stored_fingerprint = document.get("fingerprint")

@@ -86,14 +86,26 @@ class DedispersionPlan:
         out: np.ndarray | None = None,
         backend: str | None = None,
     ) -> np.ndarray:
-        """Dedisperse one batch; returns the ``(n_dms, samples)`` matrix.
+        """Deprecated: route plan execution through :mod:`repro.run`.
 
-        ``backend`` overrides the kernel's executor for this batch (see
-        :mod:`repro.opencl_sim.backend`); by default the plan's kernel
-        auto-selects, so pipelines pick up the vectorized fast path
-        transparently.
+        Same contract as before — dedisperse one batch, returning the
+        ``(n_dms, samples)`` matrix — but the blessed spelling is now
+        ``repro.run.execute(ExecutionRequest(data=input_data,
+        plan=plan))``.  Warns once per process.
         """
-        return self.kernel.execute(input_data, self.delays, out=out, backend=backend)
+        from repro.utils.deprecation import warn_legacy_execute
+
+        warn_legacy_execute(
+            "DedispersionPlan.execute",
+            "repro.run.execute(ExecutionRequest(data=input_data, plan=plan))",
+        )
+        from repro.run import ExecutionRequest, execute
+
+        return execute(
+            ExecutionRequest(
+                data=input_data, plan=self, out=out, backend=backend
+            )
+        ).output
 
     def enqueue(self, queue, input_buffer, output_buffer):
         """Run the kernel through a mini-runtime command queue.
@@ -109,7 +121,7 @@ class DedispersionPlan:
         simulated = self.predict().seconds
 
         def launch() -> None:
-            self.kernel.execute(
+            self.kernel._execute(
                 input_buffer.array, self.delays, out=output_buffer.array
             )
 

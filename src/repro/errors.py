@@ -51,3 +51,16 @@ class ShardError(SchedulerError):
 
 class LedgerError(SchedulerError):
     """A run ledger document is malformed or inconsistent with its run."""
+
+
+class SchemaVersionError(ValidationError, LedgerError):
+    """A persisted document carries a schema version we cannot read.
+
+    Raised when a sweep store or run ledger file declares a *newer*
+    schema than this build supports — typically a file written by a
+    newer version of the library.  Derives from both
+    :class:`ValidationError` and :class:`LedgerError` so existing
+    handlers of either hierarchy keep working; the CLI surfaces it as a
+    clean one-line error instead of a traceback, and caches must not
+    treat it as corruption (the file is fine, we are just old).
+    """

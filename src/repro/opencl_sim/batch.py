@@ -93,7 +93,7 @@ class BatchedDedispersionKernel:
         else:
             check_out(out, (self.n_beams, n_dms, self.kernel.samples))
         for beam in range(self.n_beams):
-            self.kernel.execute(
+            self.kernel._execute(
                 input_data[beam], delay_table, out=out[beam], backend=backend
             )
         return out
@@ -101,9 +101,37 @@ class BatchedDedispersionKernel:
 
 def execute_sharded(
     config,
-    input_batch: np.ndarray,
+    input_data: np.ndarray,
     delay_table: np.ndarray,
     shards,
+    out: np.ndarray | None = None,
+    backend: str | None = None,
+) -> np.ndarray:
+    """Deprecated: route sharded launches through :mod:`repro.run`.
+
+    Same contract as before — one uniform time batch executed shard by
+    shard and stitched bit-identically — but the blessed spelling is now
+    ``repro.run.execute(ExecutionRequest(data=..., config=...,
+    delay_table=..., shards=...))``.  Warns once per process.
+    """
+    from repro.utils.deprecation import warn_legacy_execute
+
+    warn_legacy_execute(
+        "execute_sharded",
+        "repro.run.execute(ExecutionRequest(data=input_data, "
+        "config=config, delay_table=delay_table, shards=shards))",
+    )
+    return _execute_sharded(
+        config, input_data, delay_table, shards, out=out, backend=backend
+    )
+
+
+def _execute_sharded(
+    config,
+    input_data: np.ndarray,
+    delay_table: np.ndarray,
+    shards,
+    out: np.ndarray | None = None,
     backend: str | None = None,
 ) -> np.ndarray:
     """Execute one time batch shard by shard and stitch the output.
@@ -116,21 +144,25 @@ def execute_sharded(
     all belong to one time batch and jointly cover every (beam, DM row)
     of the ``(beams, channels, t)`` input exactly once; ``config`` must
     tile every shard's DM count.  ``backend`` selects the executor for
-    every shard launch (both executors stitch bit-identically).
+    every shard launch (both executors stitch bit-identically); ``out``,
+    when given, must be a float32 ``(beams, n_dms, samples)`` buffer.
+
+    This is the internal, warning-free entrypoint the :mod:`repro.run`
+    facade dispatches to.
     """
     from repro.opencl_sim.codegen import build_kernel
 
-    input_batch = np.asarray(input_batch)
-    if input_batch.ndim != 3:
+    input_data = np.asarray(input_data)
+    if input_data.ndim != 3:
         raise ValidationError(
             "sharded input must have shape (beams, channels, t), got "
-            f"{input_batch.shape}"
+            f"{input_data.shape}"
         )
-    delay_table = check_delay_table(delay_table, input_batch.shape[1])
+    delay_table = check_delay_table(delay_table, input_data.shape[1])
     shards = tuple(shards)
     if not shards:
         raise ValidationError("execute_sharded needs at least one shard")
-    n_beams = input_batch.shape[0]
+    n_beams = input_data.shape[0]
     n_dms = delay_table.shape[0]
     samples = shards[0].samples
     covered = np.zeros((n_beams, n_dms), dtype=bool)
@@ -157,12 +189,16 @@ def execute_sharded(
     if not covered.all():
         raise ValidationError("shards do not cover every (beam, DM row)")
 
-    kernel = build_kernel(config, input_batch.shape[1], samples)
-    out = np.zeros((n_beams, n_dms, samples), dtype=np.float32)
+    kernel = build_kernel(config, input_data.shape[1], samples)
+    if out is None:
+        out = np.zeros((n_beams, n_dms, samples), dtype=np.float32)
+    else:
+        check_out(out, (n_beams, n_dms, samples))
+        out[...] = 0.0
     for shard in shards:
         stop = shard.dm_start + shard.dm_count
-        kernel.execute(
-            input_batch[shard.beam],
+        kernel._execute(
+            input_data[shard.beam],
             delay_table[shard.dm_start:stop],
             out=out[shard.beam, shard.dm_start:stop],
             backend=backend,

@@ -73,6 +73,32 @@ class DedispersionKernel:
         out: np.ndarray | None = None,
         backend: str | None = None,
     ) -> np.ndarray:
+        """Deprecated: route launches through the :mod:`repro.run` facade.
+
+        Same contract as before — dedisperse ``input_data`` for every DM
+        row of ``delay_table``, returning ``(n_dms, samples)`` — but the
+        blessed spelling is now
+        ``repro.run.execute(ExecutionRequest(data=..., kernel=self,
+        delay_table=...))``.  Warns once per process.
+        """
+        from repro.utils.deprecation import warn_legacy_execute
+
+        warn_legacy_execute(
+            "DedispersionKernel.execute",
+            "repro.run.execute(ExecutionRequest(data=input_data, "
+            "kernel=kernel, delay_table=delay_table))",
+        )
+        return self._execute(
+            input_data, delay_table, out=out, backend=backend
+        )
+
+    def _execute(
+        self,
+        input_data: np.ndarray,
+        delay_table: np.ndarray,
+        out: np.ndarray | None = None,
+        backend: str | None = None,
+    ) -> np.ndarray:
         """Dedisperse ``input_data`` for every DM row of ``delay_table``.
 
         ``input_data`` has shape ``(channels, t)`` with
@@ -84,6 +110,9 @@ class DedispersionKernel:
         (the executors accumulate in float32; any other dtype would
         silently change the arithmetic).  ``backend`` overrides the
         kernel's default executor for this launch.
+
+        This is the internal, warning-free entrypoint the
+        :mod:`repro.run` facade dispatches to.
         """
         input_data = np.asarray(input_data)
         delay_table = np.asarray(delay_table)

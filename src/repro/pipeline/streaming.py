@@ -75,13 +75,19 @@ class StreamingDedispersion:
             "device": self.plan.device.name,
             "setup": self.plan.setup.name,
         }
+        from repro.run import ExecutionRequest, execute
+
         with span(
             "pipeline.dedisperse",
             beam=chunk.beam_index,
             sequence=chunk.sequence,
             **labels,
         ):
-            output = self.plan.execute(chunk.data, backend=self.backend)
+            output = execute(
+                ExecutionRequest(
+                    data=chunk.data, plan=self.plan, backend=self.backend
+                )
+            ).output
         seconds = self.plan.predict().seconds
         self.processed += 1
         registry = get_registry()

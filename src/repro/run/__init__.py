@@ -1,0 +1,21 @@
+"""Unified execution facade for the dedispersion stack.
+
+One request type (:class:`ExecutionRequest`), one result type
+(:class:`ExecutionResult`), one call (:func:`execute`).  See
+:mod:`repro.run.facade` for the dispatch table and
+``docs/api.md`` for the migration guide from the legacy entrypoints.
+"""
+
+from repro.run.facade import (
+    EXECUTION_MODES,
+    ExecutionRequest,
+    ExecutionResult,
+    execute,
+)
+
+__all__ = [
+    "EXECUTION_MODES",
+    "ExecutionRequest",
+    "ExecutionResult",
+    "execute",
+]

@@ -1,0 +1,367 @@
+"""The unified execution facade: one request type, one ``execute`` call.
+
+The repository grew four overlapping ways to launch dedispersion work —
+``DedispersionKernel.execute`` (one beam, one batch),
+``BatchedDedispersionKernel.execute`` / ``execute_sharded`` (multi-beam,
+whole or sharded launches), ``ExecutionEngine.execute_numeric`` (the
+scheduler's own decomposition) and ``DedispersionPlan.execute`` /
+``StreamingDedispersion`` (tuned plans over chunked streams).  Each had
+its own argument spelling and none composed: downstream consumers (the
+candidate search of :mod:`repro.search`, notably) would have had to
+special-case every one.
+
+:class:`ExecutionRequest` normalises all of them into a single value
+object and :func:`execute` dispatches on its resolved *mode*:
+
+=============  ===========================================================
+mode           meaning
+=============  ===========================================================
+``kernel``     one beam, one batch: ``(channels, t)`` input through a
+               configured kernel (or a tuned plan's kernel)
+``batched``    a ``(beams, channels, t)`` batch, all beams sharing one
+               delay table, one launch per beam
+``sharded``    the same batch split into :class:`~repro.sched.shard.Shard`
+               work units, stitched bit-identically
+``streaming``  a tuned plan driven over an iterable of
+               :class:`~repro.astro.telescope.StreamChunk` objects
+=============  ===========================================================
+
+``mode="auto"`` (the default) infers the mode from what the request
+carries: chunks imply ``streaming``, shards imply ``sharded``, 3-D input
+implies ``batched``, 2-D input implies ``kernel``.  The legacy
+entrypoints survive as thin warn-once shims that build the equivalent
+request, so old call sites keep working while new code — and everything
+inside this package — speaks only the facade.
+
+Every request lands in the metrics registry
+(``repro_run_requests_total{mode=...}`` plus a
+``repro_run_execute_seconds`` wall-time observation) under a
+``run.execute`` tracer span.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.obs import get_registry, span
+
+#: The accepted values of :attr:`ExecutionRequest.mode`.
+EXECUTION_MODES = ("auto", "kernel", "batched", "sharded", "streaming")
+
+
+@dataclass(frozen=True)
+class ExecutionRequest:
+    """Everything needed to launch dedispersion work, normalised.
+
+    Exactly one *executor source* must be supplied:
+
+    * ``plan`` — a tuned :class:`~repro.core.plan.DedispersionPlan`; its
+      kernel and precomputed delay table are used (``delay_table`` must
+      then be omitted);
+    * ``kernel`` — a configured
+      :class:`~repro.opencl_sim.kernel.DedispersionKernel` plus an
+      explicit ``delay_table``;
+    * ``config`` — a bare
+      :class:`~repro.core.config.KernelConfiguration` plus
+      ``delay_table``; the kernel is generated on the fly (``samples``
+      defaults to the shard length in sharded mode, otherwise to the
+      widest batch the input and delay table allow).
+
+    ``data`` carries the channelised input: ``(channels, t)`` for kernel
+    mode, ``(beams, channels, t)`` for batched/sharded mode, and
+    ``None`` for streaming mode (the chunks carry their own payloads).
+    ``out``, when given, must be a float32 array of the output shape —
+    the same contract every executor in the stack enforces.  ``backend``
+    selects the kernel executor (``"tiled"``/``"vectorized"``/``"auto"``,
+    ``None`` meaning auto) for every launch of the request.
+    """
+
+    data: np.ndarray | None = None
+    delay_table: np.ndarray | None = None
+    config: Any = None
+    kernel: Any = None
+    plan: Any = None
+    shards: tuple = ()
+    chunks: Iterable | None = None
+    samples: int | None = None
+    mode: str = "auto"
+    backend: str | None = None
+    out: np.ndarray | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.mode not in EXECUTION_MODES:
+            raise ValidationError(
+                f"unknown execution mode {self.mode!r}; expected one of "
+                f"{', '.join(EXECUTION_MODES)}"
+            )
+        sources = [
+            name
+            for name, value in (
+                ("plan", self.plan),
+                ("kernel", self.kernel),
+                ("config", self.config),
+            )
+            if value is not None
+        ]
+        if len(sources) != 1:
+            raise ValidationError(
+                "an ExecutionRequest needs exactly one of plan=, kernel= "
+                f"or config=; got {sources or 'none'}"
+            )
+        if self.plan is not None and self.delay_table is not None:
+            raise ValidationError(
+                "delay_table= conflicts with plan= (the plan carries its "
+                "own precomputed delay table)"
+            )
+        if self.kernel is not None and self.delay_table is None:
+            raise ValidationError("kernel= requires an explicit delay_table=")
+        if self.config is not None and self.delay_table is None:
+            raise ValidationError("config= requires an explicit delay_table=")
+        if self.shards:
+            object.__setattr__(self, "shards", tuple(self.shards))
+
+    # ------------------------------------------------------------------
+    def resolve_mode(self) -> str:
+        """The concrete mode this request runs in.
+
+        An explicit mode is validated against the request's contents;
+        ``"auto"`` infers: chunks → streaming, shards → sharded, 3-D
+        input → batched, 2-D input → kernel.
+        """
+        inferred = self._infer_mode()
+        if self.mode == "auto":
+            return inferred
+        self._check_mode(self.mode)
+        return self.mode
+
+    def _infer_mode(self) -> str:
+        if self.chunks is not None:
+            self._check_mode("streaming")
+            return "streaming"
+        if self.shards:
+            self._check_mode("sharded")
+            return "sharded"
+        if self.data is None:
+            raise ValidationError(
+                "an ExecutionRequest needs data= (or chunks= for "
+                "streaming mode)"
+            )
+        ndim = np.asarray(self.data).ndim
+        if ndim == 3:
+            self._check_mode("batched")
+            return "batched"
+        if ndim == 2:
+            self._check_mode("kernel")
+            return "kernel"
+        raise ValidationError(
+            f"request data must be 2-D (channels, t) or 3-D "
+            f"(beams, channels, t); got {ndim} dimension(s)"
+        )
+
+    def _check_mode(self, mode: str) -> None:
+        """Raise when the request's contents contradict ``mode``."""
+        if mode == "streaming":
+            if self.chunks is None:
+                raise ValidationError("streaming mode requires chunks=")
+            if self.plan is None:
+                raise ValidationError(
+                    "streaming mode requires plan= (a tuned "
+                    "DedispersionPlan supplies the kernel and overlap)"
+                )
+            if self.data is not None:
+                raise ValidationError(
+                    "streaming mode takes its input from chunks=, not data="
+                )
+            if self.out is not None:
+                raise ValidationError(
+                    "streaming mode allocates per-chunk outputs; out= is "
+                    "not supported"
+                )
+            return
+        if self.chunks is not None:
+            raise ValidationError(f"chunks= is only valid in streaming mode")
+        if mode == "sharded":
+            if not self.shards:
+                raise ValidationError("sharded mode requires shards=")
+            if self.config is None:
+                raise ValidationError(
+                    "sharded mode requires config= (tuned configurations "
+                    "need not tile remainder DM chunks, so the caller "
+                    "chooses one that tiles every shard)"
+                )
+            return
+        if self.shards:
+            raise ValidationError("shards= is only valid in sharded mode")
+        if self.data is None:
+            raise ValidationError(f"{mode} mode requires data=")
+        ndim = np.asarray(self.data).ndim
+        wanted = 2 if mode == "kernel" else 3
+        if ndim != wanted:
+            raise ValidationError(
+                f"{mode} mode requires {wanted}-D input, got {ndim}-D"
+            )
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """What one facade request produced.
+
+    ``output`` is the dedispersed matrix — ``(n_dms, samples)`` for
+    kernel mode, ``(beams, n_dms, samples)`` for batched/sharded mode,
+    and the time-concatenated ``(n_dms, total_samples)`` matrix for
+    streaming mode (chunk overlap makes the concatenation bit-identical
+    to dedispersing the whole stream at once; the per-chunk detail is in
+    ``chunk_results``).
+    """
+
+    output: np.ndarray
+    mode: str
+    backend: str
+    seconds: float
+    launches: int
+    chunk_results: tuple = ()
+
+    @property
+    def n_dms(self) -> int:
+        """Trial-DM count of the output."""
+        return self.output.shape[-2]
+
+
+# ----------------------------------------------------------------------
+# Dispatch
+# ----------------------------------------------------------------------
+def execute(request: ExecutionRequest) -> ExecutionResult:
+    """Run one :class:`ExecutionRequest`; returns the result.
+
+    The single blessed entrypoint of the execution stack: every mode,
+    every backend, one call.  See the module docstring for the dispatch
+    table.
+    """
+    if not isinstance(request, ExecutionRequest):
+        raise ValidationError(
+            f"execute() takes an ExecutionRequest, got "
+            f"{type(request).__name__}"
+        )
+    from repro.opencl_sim.backend import normalize_backend
+
+    mode = request.resolve_mode()
+    backend = normalize_backend(request.backend)
+    runner = _RUNNERS[mode]
+    with span("run.execute", mode=mode, backend=backend):
+        start = time.perf_counter()
+        output, launches, chunk_results = runner(request)
+        elapsed = time.perf_counter() - start
+    registry = get_registry()
+    registry.counter("repro_run_requests_total", mode=mode).inc()
+    registry.histogram("repro_run_execute_seconds", mode=mode).observe(
+        elapsed
+    )
+    return ExecutionResult(
+        output=output,
+        mode=mode,
+        backend=backend,
+        seconds=elapsed,
+        launches=launches,
+        chunk_results=chunk_results,
+    )
+
+
+def _kernel_for(request: ExecutionRequest, channels: int, samples: int):
+    """The configured kernel a non-plan request executes with."""
+    if request.kernel is not None:
+        return request.kernel
+    from repro.opencl_sim.codegen import build_kernel
+
+    return build_kernel(request.config, channels, samples)
+
+
+def _kernel_samples(request: ExecutionRequest, time_axis: int) -> int:
+    """Output batch length for a kernel/batched request.
+
+    An explicit ``samples=`` wins; a supplied kernel fixes its own batch;
+    otherwise the widest batch the input and delay table allow.
+    """
+    if request.samples is not None:
+        return int(request.samples)
+    if request.kernel is not None:
+        return request.kernel.samples
+    available = time_axis - int(np.asarray(request.delay_table).max(initial=0))
+    if available <= 0:
+        raise ValidationError(
+            "input too short for the delay table (no output samples "
+            "remain after the maximum delay)"
+        )
+    return available
+
+
+def _run_kernel(request: ExecutionRequest):
+    if request.plan is not None:
+        kernel = request.plan.kernel
+        delays = request.plan.delays
+    else:
+        delays = request.delay_table
+        data = np.asarray(request.data)
+        kernel = _kernel_for(
+            request, data.shape[0], _kernel_samples(request, data.shape[1])
+        )
+    output = kernel._execute(
+        request.data, delays, out=request.out, backend=request.backend
+    )
+    return output, 1, ()
+
+
+def _run_batched(request: ExecutionRequest):
+    from repro.opencl_sim.batch import BatchedDedispersionKernel
+
+    data = np.asarray(request.data)
+    if request.plan is not None:
+        kernel = request.plan.kernel
+        delays = request.plan.delays
+    else:
+        delays = request.delay_table
+        kernel = _kernel_for(
+            request, data.shape[1], _kernel_samples(request, data.shape[2])
+        )
+    batched = BatchedDedispersionKernel(kernel=kernel, n_beams=data.shape[0])
+    output = batched.execute(
+        data, delays, out=request.out, backend=request.backend
+    )
+    return output, data.shape[0], ()
+
+
+def _run_sharded(request: ExecutionRequest):
+    from repro.opencl_sim.batch import _execute_sharded
+
+    output = _execute_sharded(
+        request.config,
+        request.data,
+        request.delay_table,
+        request.shards,
+        out=request.out,
+        backend=request.backend,
+    )
+    return output, len(request.shards), ()
+
+
+def _run_streaming(request: ExecutionRequest):
+    from repro.pipeline.streaming import StreamingDedispersion
+
+    stream = StreamingDedispersion(request.plan, backend=request.backend)
+    results = tuple(stream.process(chunk) for chunk in request.chunks)
+    if not results:
+        raise ValidationError("streaming request carried no chunks")
+    output = np.concatenate([r.output for r in results], axis=1)
+    return output, len(results), results
+
+
+_RUNNERS = {
+    "kernel": _run_kernel,
+    "batched": _run_batched,
+    "sharded": _run_sharded,
+    "streaming": _run_streaming,
+}

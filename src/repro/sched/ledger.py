@@ -16,7 +16,7 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.errors import LedgerError
+from repro.errors import LedgerError, SchemaVersionError
 from repro.sched.shard import Shard
 
 #: Format version written into every ledger document.
@@ -205,6 +205,13 @@ def validate_document(document: dict) -> None:
         raise LedgerError("ledger document must be a JSON object")
     schema = document.get("schema")
     if schema not in SUPPORTED_LEDGER_SCHEMAS:
+        if isinstance(schema, int) and schema > max(SUPPORTED_LEDGER_SCHEMAS):
+            raise SchemaVersionError(
+                f"unsupported ledger schema {schema!r}: this file was "
+                f"written by a newer version of repro (this build reads "
+                f"schemas up to {max(SUPPORTED_LEDGER_SCHEMAS)}); upgrade "
+                f"repro or re-run the survey to regenerate the ledger"
+            )
         raise LedgerError(f"unsupported ledger schema {schema!r}")
     run = document.get("run")
     if not isinstance(run, dict):

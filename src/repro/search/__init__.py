@@ -1,0 +1,45 @@
+"""Real-time candidate search downstream of the dedispersion facade.
+
+The subsystem the kernel exists to feed: a vectorized boxcar
+matched-filter detector over the DM×time plane
+(:mod:`repro.search.detect`), a clustering/sifting stage with RFI vetoes
+(:mod:`repro.search.sift`), and a streaming driver with a bounded queue,
+explicit drop accounting and a virtual-clock real-time verdict
+(:mod:`repro.search.stream`).  Dedispersion is reached exclusively
+through :func:`repro.run.execute`; see ``docs/search.md`` for the
+architecture and the deadline/backpressure semantics.
+"""
+
+from repro.search.detect import (
+    DEFAULT_WIDTHS,
+    MatchedFilterDetector,
+    boxcar_snr_plane,
+)
+from repro.search.sift import (
+    SiftPolicy,
+    SiftResult,
+    VetoedCluster,
+    sift_candidates,
+)
+from repro.search.stream import (
+    ChunkRecord,
+    SearchConfig,
+    SearchReport,
+    StreamingSearch,
+    search_stream,
+)
+
+__all__ = [
+    "DEFAULT_WIDTHS",
+    "MatchedFilterDetector",
+    "boxcar_snr_plane",
+    "SiftPolicy",
+    "SiftResult",
+    "VetoedCluster",
+    "sift_candidates",
+    "ChunkRecord",
+    "SearchConfig",
+    "SearchReport",
+    "StreamingSearch",
+    "search_stream",
+]

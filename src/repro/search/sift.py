@@ -1,0 +1,123 @@
+"""Candidate sifting with RFI vetoes for the real-time search.
+
+:func:`repro.astro.candidates.sift` clusters raw detections into
+physical events; this module wraps it with the survey-pipeline policy
+layer: which clusters to *keep*.  Two vetoes target the RFI morphologies
+:mod:`repro.astro.rfi` injects:
+
+* **zero-DM veto** — terrestrial broadband interference is undispersed,
+  so it peaks in the lowest trial of the grid.  Clusters whose best
+  member sits in trial 0 are vetoed (the upstream
+  :func:`repro.astro.rfi.zero_dm_filter` removes most of this power, but
+  the veto catches what leaks through — and a search grid starting at
+  DM 0 *must* run with the filter off, since filtering nulls the DM-0
+  series).
+* **broadband veto** — a real dispersed pulse is detected in a narrow
+  cone of neighbouring trials; a cluster spanning most of the DM grid is
+  interference.  Clusters whose ``dm_extent`` exceeds a configurable
+  fraction of the grid span are vetoed.
+
+Vetoed clusters are returned, not discarded, so drop accounting stays
+explicit all the way up the stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.astro.candidates import Candidate, SiftedCandidate, sift
+from repro.errors import ValidationError
+from repro.utils.validation import require_in_range, require_non_negative
+
+#: Veto reasons a :class:`VetoedCluster` can carry.
+VETO_REASONS = ("zero_dm", "broadband")
+
+
+@dataclass(frozen=True)
+class SiftPolicy:
+    """How raw detections become accepted candidates.
+
+    ``dm_radius`` / ``time_slack`` parameterise the clustering (see
+    :func:`repro.astro.candidates.sift`); ``zero_dm_veto`` and
+    ``broadband_veto_fraction`` the RFI vetoes described in the module
+    docstring.  ``broadband_veto_fraction=1.0`` disables the broadband
+    veto (no cluster can exceed the full grid span).
+    """
+
+    dm_radius: float = 2.0
+    time_slack: int = 8
+    zero_dm_veto: bool = True
+    broadband_veto_fraction: float = 0.7
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.dm_radius, "dm_radius")
+        require_non_negative(self.time_slack, "time_slack")
+        require_in_range(
+            self.broadband_veto_fraction, 0.0, 1.0, "broadband_veto_fraction"
+        )
+
+
+@dataclass(frozen=True)
+class VetoedCluster:
+    """A sifted cluster rejected by policy, with the reason."""
+
+    cluster: SiftedCandidate
+    reason: str
+
+    def __post_init__(self) -> None:
+        if self.reason not in VETO_REASONS:
+            raise ValidationError(
+                f"unknown veto reason {self.reason!r}; expected one of "
+                f"{', '.join(VETO_REASONS)}"
+            )
+
+
+@dataclass(frozen=True)
+class SiftResult:
+    """Clusters split into accepted and vetoed, strongest first."""
+
+    accepted: tuple[SiftedCandidate, ...]
+    vetoed: tuple[VetoedCluster, ...]
+
+    @property
+    def n_raw(self) -> int:
+        """How many raw detections went into the clustering."""
+        return sum(c.n_members for c in self.accepted) + sum(
+            v.cluster.n_members for v in self.vetoed
+        )
+
+
+def sift_candidates(
+    candidates: list[Candidate],
+    dms: np.ndarray,
+    policy: SiftPolicy | None = None,
+) -> SiftResult:
+    """Cluster ``candidates`` and apply the policy's RFI vetoes.
+
+    ``dms`` is the full trial grid the candidates were detected on — the
+    vetoes need it to know which trial is lowest and how wide the grid
+    spans, which the candidates alone cannot say.
+    """
+    policy = policy or SiftPolicy()
+    dms = np.asarray(dms, dtype=np.float64)
+    if dms.ndim != 1 or dms.size == 0:
+        raise ValidationError("dms must be a non-empty 1-D trial grid")
+    clusters = sift(
+        candidates, dm_radius=policy.dm_radius, time_slack=policy.time_slack
+    )
+    span = float(dms.max() - dms.min())
+    accepted: list[SiftedCandidate] = []
+    vetoed: list[VetoedCluster] = []
+    for cluster in clusters:
+        if policy.zero_dm_veto and cluster.best.dm_index == 0:
+            vetoed.append(VetoedCluster(cluster=cluster, reason="zero_dm"))
+        elif (
+            span > 0.0
+            and cluster.dm_extent > policy.broadband_veto_fraction * span
+        ):
+            vetoed.append(VetoedCluster(cluster=cluster, reason="broadband"))
+        else:
+            accepted.append(cluster)
+    return SiftResult(accepted=tuple(accepted), vetoed=tuple(vetoed))

@@ -22,7 +22,7 @@ from pathlib import Path
 
 from repro.core.persistence import load_sweep, save_sweep
 from repro.core.tuner import TuningResult
-from repro.errors import ReproError
+from repro.errors import ReproError, SchemaVersionError
 from repro.service.keys import InstanceKey
 
 
@@ -117,15 +117,20 @@ class DiskSweepStore:
     def load(self, key: InstanceKey, verify: bool = True) -> TuningResult | None:
         """Load ``key``'s sweep, or None when absent or stale.
 
-        A document that fails verification (model drift, schema change,
+        A document that fails verification (model drift, old schema,
         corruption) is deleted so subsequent requests go straight to a
-        fresh sweep instead of re-failing the load.
+        fresh sweep instead of re-failing the load.  A *newer*-schema
+        document is the one exception: the file is valid, this build is
+        just too old to read it, so it is preserved and the error
+        propagates for the caller (ultimately the CLI) to surface.
         """
         path = self.path_for(key)
         if not path.exists():
             return None
         try:
             return load_sweep(path, verify=verify)
+        except SchemaVersionError:
+            raise
         except (ReproError, ValueError, KeyError, OSError):
             path.unlink(missing_ok=True)
             return None

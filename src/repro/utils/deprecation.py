@@ -1,0 +1,52 @@
+"""Warn-once deprecation plumbing shared by the compatibility shims.
+
+The package keeps two kinds of legacy surface alive: old top-level
+import paths (handled by module ``__getattr__`` shims, e.g. in
+:mod:`repro` and :mod:`repro.service.stats`) and old *execution
+entrypoints* superseded by the :mod:`repro.run` facade.  Both follow the
+same contract — the first use warns with a pointer at the blessed
+replacement, later uses are silent — so the bookkeeping lives here, at
+the bottom of the import stack where every layer can reach it without
+cycles.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+#: Keys that have already warned in this process (tests reset through
+#: :func:`reset_deprecation_warning`).
+_warned: set[str] = set()
+
+
+def warn_once(key: str, message: str, stacklevel: int = 3) -> None:
+    """Emit ``DeprecationWarning`` for ``key`` once per process.
+
+    ``key`` identifies the deprecated entrypoint (e.g.
+    ``"DedispersionKernel.execute"``); repeated calls with the same key
+    are silent, matching the module-``__getattr__`` shim behaviour.
+    """
+    if key in _warned:
+        return
+    _warned.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def reset_deprecation_warning(key: str) -> None:
+    """Forget that ``key`` warned (test hook, mirroring ``_warned`` sets)."""
+    _warned.discard(key)
+
+
+def warn_legacy_execute(entrypoint: str, example: str) -> None:
+    """The shared message for a legacy execute entrypoint.
+
+    Every pre-facade way of launching dedispersion work funnels through
+    this so the wording (and the once-per-entrypoint bookkeeping) stays
+    consistent across the stack.
+    """
+    warn_once(
+        entrypoint,
+        f"{entrypoint} is deprecated; route execution through the "
+        f"repro.run facade instead, e.g. {example}",
+        stacklevel=4,
+    )

@@ -1,0 +1,126 @@
+"""The four legacy execute entrypoints: warn once, still correct."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.astro.dispersion import delay_table
+from repro.core.config import KernelConfiguration
+from repro.core.plan import DedispersionPlan
+from repro.hardware.catalog import hd7970
+from repro.opencl_sim.batch import execute_sharded
+from repro.opencl_sim.codegen import build_kernel
+from repro.run import ExecutionRequest, execute
+from repro.sched import shard_survey
+from repro.utils.deprecation import reset_deprecation_warning
+from tests.conftest import make_input
+
+CONFIG = KernelConfiguration(16, 4, 5, 2)
+
+
+@pytest.fixture
+def table(toy_low, toy_grid):
+    return delay_table(toy_low, toy_grid.values)
+
+
+@pytest.fixture
+def data(toy_low, toy_grid, rng):
+    return make_input(toy_low, toy_grid, rng)
+
+
+def _assert_warns_once_then_never(key, call):
+    """First ``call()`` warns a DeprecationWarning; the second is silent."""
+    reset_deprecation_warning(key)
+    with pytest.warns(DeprecationWarning, match="repro.run.execute"):
+        first = call()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        second = call()
+    assert not [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+    return first, second
+
+
+class TestKernelShim:
+    def test_warns_once_and_matches_facade(self, toy_low, table, data):
+        kernel = build_kernel(CONFIG, toy_low.channels, 400)
+        first, second = _assert_warns_once_then_never(
+            "DedispersionKernel.execute", lambda: kernel.execute(data, table)
+        )
+        np.testing.assert_array_equal(first, second)
+        facade = execute(
+            ExecutionRequest(data=data, kernel=kernel, delay_table=table)
+        )
+        np.testing.assert_array_equal(first, facade.output)
+
+
+class TestShardedShim:
+    def test_warns_once_and_matches_facade(self, toy_low, toy_grid, table, rng):
+        config = KernelConfiguration(4, 2, 2, 1)
+        t = toy_low.samples_per_batch + int(table.max())
+        batch = rng.normal(size=(1, toy_low.channels, t)).astype(np.float32)
+        shards = shard_survey(toy_low, toy_grid, n_beams=1, duration_s=1.0)
+        first, second = _assert_warns_once_then_never(
+            "execute_sharded",
+            lambda: execute_sharded(config, batch, table, shards),
+        )
+        np.testing.assert_array_equal(first, second)
+        facade = execute(
+            ExecutionRequest(
+                data=batch, config=config, delay_table=table, shards=shards
+            )
+        )
+        np.testing.assert_array_equal(first, facade.output)
+
+
+class TestEngineShim:
+    def test_warns_once_and_matches_facade(self, rng):
+        from repro.astro.dm_trials import DMTrialGrid
+        from repro.astro.observation import ObservationSetup
+        from repro.sched import ExecutionEngine
+
+        setup = ObservationSetup(
+            name="dep-toy",
+            channels=16,
+            lowest_frequency=1420.0,
+            channel_bandwidth=2.0,
+            samples_per_second=400,
+            samples_per_batch=400,
+        )
+        grid = DMTrialGrid(n_dms=8, first=0.0, step=1.0)
+        engine = ExecutionEngine(
+            [(hd7970(), 1, 1024 ** 3)], setup, grid, 1, 1.0
+        )
+        config = KernelConfiguration(4, 2, 2, 1)
+        table = engine.delay_table()
+        t = setup.samples_per_batch + int(table.max())
+        batch = rng.normal(size=(1, setup.channels, t)).astype(np.float32)
+        first, second = _assert_warns_once_then_never(
+            "ExecutionEngine.execute_numeric",
+            lambda: engine.execute_numeric(batch, config),
+        )
+        np.testing.assert_array_equal(first, second)
+        facade = execute(
+            ExecutionRequest(
+                data=batch,
+                config=config,
+                delay_table=table,
+                shards=engine.shards_for_batch(0),
+            )
+        )
+        np.testing.assert_array_equal(first, facade.output)
+
+
+class TestPlanShim:
+    def test_warns_once_and_matches_facade(self, toy_low, toy_grid, data):
+        plan = DedispersionPlan.create(
+            toy_low, toy_grid, hd7970(), config=CONFIG, samples=400
+        )
+        first, second = _assert_warns_once_then_never(
+            "DedispersionPlan.execute", lambda: plan.execute(data)
+        )
+        np.testing.assert_array_equal(first, second)
+        facade = execute(ExecutionRequest(data=data, plan=plan))
+        np.testing.assert_array_equal(first, facade.output)

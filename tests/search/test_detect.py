@@ -1,0 +1,116 @@
+"""Unit tests for repro.search.detect — the vectorized matched filter."""
+
+import numpy as np
+import pytest
+
+from repro.astro.snr import best_boxcar_snr, boxcar_snr
+from repro.errors import ValidationError
+from repro.search import DEFAULT_WIDTHS, MatchedFilterDetector, boxcar_snr_plane
+from repro.utils.intmath import powers_of_two
+
+
+@pytest.fixture
+def plane(rng):
+    plane = rng.normal(size=(6, 256)).astype(np.float32)
+    # One clean injected pulse: 8 samples of amplitude 10 in row 3.
+    plane[3, 100:108] += 10.0
+    return plane
+
+
+class TestPlaneParity:
+    """The whole-plane filter matches the scalar oracle bit for bit."""
+
+    @pytest.mark.parametrize("width", DEFAULT_WIDTHS)
+    def test_rows_match_scalar_boxcar(self, plane, width):
+        vector = boxcar_snr_plane(plane, width)
+        for row in range(plane.shape[0]):
+            np.testing.assert_array_equal(
+                vector[row], boxcar_snr(plane[row], width)
+            )
+
+    def test_constant_rows_yield_zero_snr(self):
+        flat = np.ones((2, 64), dtype=np.float32)
+        snr = boxcar_snr_plane(flat, 4)
+        assert np.all(snr == 0.0)
+        assert not np.any(np.isnan(snr))
+
+    def test_output_shape(self, plane):
+        assert boxcar_snr_plane(plane, 16).shape == (6, 256 - 16 + 1)
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(ValidationError, match="n_dms"):
+            boxcar_snr_plane(np.zeros(16), 2)
+
+    @pytest.mark.parametrize("width", [0, -1, 300])
+    def test_rejects_bad_widths(self, plane, width):
+        with pytest.raises(ValidationError, match="width"):
+            boxcar_snr_plane(plane, width)
+
+
+class TestDetectorConstruction:
+    def test_widths_sorted_and_deduplicated(self):
+        detector = MatchedFilterDetector(widths=(8, 2, 8, 1))
+        assert detector.widths == (1, 2, 8)
+
+    def test_rejects_empty_bank(self):
+        with pytest.raises(ValidationError, match="width"):
+            MatchedFilterDetector(widths=())
+
+    def test_rejects_non_positive_widths(self):
+        with pytest.raises(ValidationError, match="positive"):
+            MatchedFilterDetector(widths=(0, 2))
+
+    def test_rejects_non_positive_threshold(self):
+        with pytest.raises(ValidationError):
+            MatchedFilterDetector(snr_threshold=0.0)
+
+    def test_for_samples_matches_scalar_bank(self):
+        detector = MatchedFilterDetector.for_samples(256)
+        assert detector.widths == tuple(powers_of_two(1, 64))
+
+
+class TestDetection:
+    def test_recovers_injected_pulse(self, plane):
+        detector = MatchedFilterDetector(snr_threshold=6.0)
+        dms = np.arange(6, dtype=np.float64)
+        found = detector.detect(plane, dms)
+        assert found, "injected pulse not detected"
+        best = max(found, key=lambda c: c.snr)
+        assert best.dm_index == 3
+        assert best.width == 8
+        assert 92 <= best.time_sample <= 108
+
+    def test_one_candidate_per_trial_at_most(self, plane):
+        detector = MatchedFilterDetector(snr_threshold=1.0)
+        found = detector.detect(plane, np.arange(6, dtype=np.float64))
+        assert len(found) <= 6
+        assert len({c.dm_index for c in found}) == len(found)
+
+    def test_agrees_with_scalar_best_boxcar(self, plane):
+        detector = MatchedFilterDetector.for_samples(plane.shape[1])
+        snrs, widths, offsets = detector.best_per_trial(plane)
+        for row in range(plane.shape[0]):
+            snr, width, offset = best_boxcar_snr(plane[row])
+            assert snrs[row] == pytest.approx(snr)
+            assert widths[row] == width
+            assert offsets[row] == offset
+
+    def test_time_offset_shifts_reports(self, plane):
+        detector = MatchedFilterDetector(snr_threshold=6.0)
+        dms = np.arange(6, dtype=np.float64)
+        base = detector.detect(plane, dms)
+        shifted = detector.detect(plane, dms, time_offset=1000)
+        assert [c.time_sample + 1000 for c in base] == [
+            c.time_sample for c in shifted
+        ]
+
+    def test_widths_wider_than_plane_skipped(self, rng):
+        narrow = rng.normal(size=(2, 4)).astype(np.float32)
+        detector = MatchedFilterDetector(snr_threshold=1.0, widths=(2, 64))
+        found = detector.detect(narrow, np.arange(2, dtype=np.float64))
+        assert all(c.width == 2 for c in found)
+
+    def test_rejects_mismatched_dms(self, plane):
+        detector = MatchedFilterDetector()
+        with pytest.raises(ValidationError, match="n_dms"):
+            detector.detect(plane, np.arange(5, dtype=np.float64))

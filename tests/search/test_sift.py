@@ -1,0 +1,118 @@
+"""Unit tests for repro.search.sift — clustering policy and RFI vetoes."""
+
+import numpy as np
+import pytest
+
+from repro.astro.candidates import Candidate
+from repro.errors import ValidationError
+from repro.search import SiftPolicy, sift_candidates
+from repro.search.sift import VETO_REASONS, VetoedCluster
+
+DMS = np.arange(8, dtype=np.float64)
+
+
+def cand(dm_index, snr, time_sample=100, width=4):
+    return Candidate(
+        dm_index=dm_index,
+        dm=float(DMS[dm_index]),
+        snr=snr,
+        time_sample=time_sample,
+        width=width,
+    )
+
+
+class TestPolicyValidation:
+    def test_defaults_are_valid(self):
+        policy = SiftPolicy()
+        assert policy.zero_dm_veto
+
+    def test_rejects_negative_radius(self):
+        with pytest.raises(ValidationError):
+            SiftPolicy(dm_radius=-1.0)
+
+    def test_rejects_fraction_above_one(self):
+        with pytest.raises(ValidationError):
+            SiftPolicy(broadband_veto_fraction=1.5)
+
+    def test_rejects_unknown_veto_reason(self):
+        cluster = sift_candidates([cand(3, 9.0)], DMS).accepted[0]
+        with pytest.raises(ValidationError, match="veto reason"):
+            VetoedCluster(cluster=cluster, reason="cosmic")
+        assert VETO_REASONS == ("zero_dm", "broadband")
+
+
+class TestClustering:
+    def test_adjacent_trials_merge_into_one_cluster(self):
+        # A bow tie: the same event seen in trials 3, 4, 5.
+        raw = [cand(4, 12.0), cand(3, 8.0), cand(5, 7.5)]
+        result = sift_candidates(raw, DMS)
+        assert len(result.accepted) == 1
+        cluster = result.accepted[0]
+        assert cluster.best.dm_index == 4
+        assert cluster.n_members == 3
+        assert result.n_raw == 3
+
+    def test_distant_events_stay_separate(self):
+        raw = [cand(2, 10.0, time_sample=50), cand(6, 9.0, time_sample=900)]
+        result = sift_candidates(raw, DMS)
+        assert len(result.accepted) == 2
+
+    def test_adjacent_widths_dedupe(self):
+        # The same pulse matched at two boxcar widths in the same trial
+        # neighbourhood collapses into one cluster.
+        raw = [
+            cand(4, 12.0, time_sample=100, width=8),
+            cand(4, 10.0, time_sample=98, width=16),
+        ]
+        result = sift_candidates(raw, DMS)
+        assert len(result.accepted) == 1
+        assert result.accepted[0].best.width == 8
+
+    def test_accepted_sorted_strongest_first(self):
+        raw = [cand(2, 7.0, time_sample=50), cand(6, 11.0, time_sample=900)]
+        result = sift_candidates(raw, DMS)
+        assert [c.best.snr for c in result.accepted] == [11.0, 7.0]
+
+
+class TestVetoes:
+    def test_zero_dm_cluster_vetoed(self):
+        result = sift_candidates([cand(0, 15.0)], DMS)
+        assert not result.accepted
+        assert result.vetoed[0].reason == "zero_dm"
+
+    def test_zero_dm_veto_can_be_disabled(self):
+        policy = SiftPolicy(zero_dm_veto=False)
+        result = sift_candidates([cand(0, 15.0)], DMS, policy)
+        assert len(result.accepted) == 1
+
+    def test_broadband_cluster_vetoed(self):
+        # One "event" spanning trials 1..7 (extent 6 > 0.7 * span 7).
+        policy = SiftPolicy(dm_radius=10.0)
+        raw = [cand(i, 10.0 - 0.1 * i) for i in range(1, 8)]
+        result = sift_candidates(raw, DMS, policy)
+        assert not result.accepted
+        assert result.vetoed[0].reason == "broadband"
+
+    def test_broadband_veto_disabled_at_fraction_one(self):
+        policy = SiftPolicy(dm_radius=10.0, broadband_veto_fraction=1.0)
+        raw = [cand(i, 10.0 - 0.1 * i) for i in range(1, 8)]
+        result = sift_candidates(raw, DMS, policy)
+        assert len(result.accepted) == 1
+
+    def test_narrow_cone_survives_vetoes(self):
+        raw = [cand(4, 12.0), cand(3, 8.0), cand(5, 7.5)]
+        result = sift_candidates(raw, DMS)
+        assert len(result.accepted) == 1
+        assert not result.vetoed
+
+
+class TestInputValidation:
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValidationError, match="dms"):
+            sift_candidates([], np.array([]))
+
+    def test_empty_candidates_are_fine(self):
+        result = sift_candidates([], DMS)
+        assert result.accepted == ()
+        assert result.vetoed == ()
+        assert result.n_raw == 0

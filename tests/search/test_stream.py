@@ -1,0 +1,168 @@
+"""Unit tests for repro.search.stream — the real-time search driver."""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.astro.dm_trials import DMTrialGrid
+from repro.astro.signal_gen import SyntheticPulsar
+from repro.astro.telescope import Telescope
+from repro.core.config import KernelConfiguration
+from repro.core.plan import DedispersionPlan
+from repro.errors import PipelineError
+from repro.hardware.catalog import hd7970
+from repro.obs import use_registry
+from repro.search import SearchConfig, StreamingSearch, search_stream
+
+CONFIG = KernelConfiguration(16, 4, 5, 2)
+INJECTED_TRIAL = 4
+
+
+@pytest.fixture
+def plan(toy_low, toy_grid):
+    return DedispersionPlan.create(
+        toy_low, toy_grid, hd7970(), config=CONFIG, samples=400
+    )
+
+
+def make_chunks(toy_low, toy_grid, n_chunks=2, seed=11, dm=None):
+    telescope = Telescope(setup=toy_low, noise_sigma=0.5, seed=seed)
+    dm = float(toy_grid.values[INJECTED_TRIAL]) if dm is None else dm
+    beam = telescope.add_beam(
+        pulsars=(SyntheticPulsar(period_seconds=0.7, dm=dm, amplitude=1.0),)
+    )
+    return list(telescope.stream(beam, n_chunks, toy_grid))
+
+
+class TestRecovery:
+    @pytest.mark.parametrize("backend", ["tiled", "vectorized"])
+    def test_recovers_injected_pulse(self, plan, toy_low, toy_grid, backend):
+        chunks = make_chunks(toy_low, toy_grid)
+        report = search_stream(plan, iter(chunks), backend=backend)
+        assert report.backend == backend
+        assert report.best is not None
+        assert abs(report.best.best.dm_index - INJECTED_TRIAL) <= 1
+        assert report.best.best.snr >= 6.0
+
+    def test_backends_find_identical_candidates(self, plan, toy_low, toy_grid):
+        chunks = make_chunks(toy_low, toy_grid)
+        tiled = search_stream(plan, iter(chunks), backend="tiled")
+        fast = search_stream(plan, iter(chunks), backend="vectorized")
+        assert tiled.result.accepted == fast.result.accepted
+        assert tiled.result.vetoed == fast.result.vetoed
+
+    def test_deterministic_under_fixed_seed(self, plan, toy_low, toy_grid):
+        first = search_stream(
+            plan, iter(make_chunks(toy_low, toy_grid, seed=23)),
+            backend="vectorized",
+        )
+        second = search_stream(
+            plan, iter(make_chunks(toy_low, toy_grid, seed=23)),
+            backend="vectorized",
+        )
+        assert first.result.accepted == second.result.accepted
+        assert first.result.vetoed == second.result.vetoed
+        assert first.chunks_dropped == second.chunks_dropped
+        assert first.verdict == second.verdict
+
+
+class TestRealtimeModel:
+    def test_fast_search_sustains_realtime(self, plan, toy_low, toy_grid):
+        report = search_stream(plan, iter(make_chunks(toy_low, toy_grid)))
+        assert report.verdict == "realtime_sustained"
+        assert report.chunks_processed == 2
+        assert report.chunks_dropped == 0
+        assert report.makespan_s > 0.0
+
+    def test_backpressure_drops_deterministically(self, plan, toy_low, toy_grid):
+        # Service floored at 2.5 cadences with a single queue slot: the
+        # virtual clock admits 0, 1, 3, 5 and sheds 2 and 4.
+        config = SearchConfig(
+            queue_capacity=1,
+            min_service_seconds=2.5 * (plan.samples / 400),
+        )
+        report = search_stream(
+            plan, iter(make_chunks(toy_low, toy_grid, n_chunks=6)), config
+        )
+        assert report.verdict == "degraded"
+        assert report.degraded
+        assert report.chunks_dropped == 2
+        assert [r.sequence for r in report.records if r.dropped] == [2, 4]
+        for record in report.records:
+            if record.dropped:
+                assert record.lag_s == 0.0
+
+    def test_slow_but_unshed_stream_is_complete(self, plan, toy_low, toy_grid):
+        config = SearchConfig(
+            queue_capacity=16,
+            min_service_seconds=1.5 * (plan.samples / 400),
+        )
+        report = search_stream(
+            plan, iter(make_chunks(toy_low, toy_grid, n_chunks=3)), config
+        )
+        assert report.chunks_dropped == 0
+        assert not report.realtime_sustained
+        assert report.verdict == "complete"
+
+    def test_empty_stream_rejected(self, plan):
+        with pytest.raises(PipelineError, match="no chunks"):
+            search_stream(plan, iter(()))
+
+
+class TestRfiMitigation:
+    def test_requires_grid_above_zero_dm(self, plan):
+        with pytest.raises(PipelineError, match="zero-DM"):
+            StreamingSearch(plan, SearchConfig(rfi_mitigation=True))
+
+    def test_runs_on_copies_not_the_stream(self, toy_low):
+        grid = DMTrialGrid(n_dms=8, first=1.0, step=1.0)
+        plan = DedispersionPlan.create(
+            toy_low, grid, hd7970(), config=CONFIG, samples=400
+        )
+        chunks = make_chunks(toy_low, grid, dm=4.0)
+        before = [chunk.data.copy() for chunk in chunks]
+        search_stream(plan, iter(chunks), SearchConfig(rfi_mitigation=True))
+        for chunk, original in zip(chunks, before):
+            np.testing.assert_array_equal(chunk.data, original)
+
+
+class TestObservability:
+    def test_records_search_metrics(self, plan, toy_low, toy_grid):
+        with use_registry() as registry:
+            search_stream(plan, iter(make_chunks(toy_low, toy_grid)))
+            names = {series.name for series in registry.series()}
+        assert "repro_search_chunks_total" in names
+        assert "repro_search_candidates_total" in names
+        assert "repro_search_detect_seconds" in names
+        assert "repro_search_lag_seconds" in names
+        assert "repro_search_realtime_margin" in names
+
+    def test_drop_counter_matches_report(self, plan, toy_low, toy_grid):
+        config = SearchConfig(
+            queue_capacity=1,
+            min_service_seconds=2.5 * (plan.samples / 400),
+        )
+        with use_registry() as registry:
+            report = search_stream(
+                plan, iter(make_chunks(toy_low, toy_grid, n_chunks=6)), config
+            )
+            counter = registry.counter(
+                "repro_search_chunks_total",
+                outcome="dropped",
+                setup=plan.setup.name,
+            )
+            assert counter.value == report.chunks_dropped
+
+
+class TestIsolation:
+    def test_search_never_imports_the_simulator(self):
+        # The facade is the only road to the executors; repro.search must
+        # not reach around it.
+        package = (
+            Path(__file__).resolve().parents[2] / "src" / "repro" / "search"
+        )
+        for source in package.glob("*.py"):
+            assert "opencl_sim" not in source.read_text(), (
+                f"{source.name} references opencl_sim directly"
+            )

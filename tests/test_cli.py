@@ -180,6 +180,32 @@ class TestSched:
         assert "error" in capsys.readouterr().err
 
 
+class TestSearch:
+    ARGS = [
+        "search",
+        "--dms", "16",
+        "--samples", "500",
+        "--chunks", "2",
+    ]
+
+    def test_recovers_injected_candidate(self, capsys):
+        assert main(self.ARGS + ["--backend", "vectorized"]) == 0
+        out = capsys.readouterr().out
+        assert "search:" in out
+        assert "candidates:" in out
+        assert "recovery [vectorized]: CORRECT" in out
+
+    def test_both_backends_agree(self, capsys):
+        assert main(self.ARGS + ["--backend", "both"]) == 0
+        out = capsys.readouterr().out
+        assert "recovery [tiled]: CORRECT" in out
+        assert "recovery [vectorized]: CORRECT" in out
+
+    def test_unknown_setup_fails_cleanly(self, capsys):
+        assert main(["search", "--setup", "ska"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,150 @@
+#!/usr/bin/env python
+"""Lint the execute stack's keyword-argument names.
+
+The execution facade (`repro.run`) unified the kwargs of every
+dedispersion entrypoint: batches are ``input_data``, delay tables are
+``delay_table``, destination buffers are ``out``, and executor
+selection is ``backend``.  This lint pins those names so they cannot
+drift apart again — the pre-facade stack had ``input_batch`` in some
+layers and no ``out``/``backend`` in others, which is exactly the
+inconsistency the redesign removed.
+
+Two checks:
+
+* every pinned entrypoint (``PINNED``) carries exactly the agreed
+  parameter list, in order;
+* no ``execute``-family function in the pinned files reintroduces a
+  banned alias (``ALIASES``) for one of the agreed names.
+
+Run from the repository root (CI does)::
+
+    python tools/check_execute_signatures.py
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+
+#: qualified name -> (file, exact parameter names, in order, sans self).
+PINNED: dict[str, tuple[str, tuple[str, ...]]] = {
+    "DedispersionKernel.execute": (
+        "repro/opencl_sim/kernel.py",
+        ("input_data", "delay_table", "out", "backend"),
+    ),
+    "DedispersionKernel._execute": (
+        "repro/opencl_sim/kernel.py",
+        ("input_data", "delay_table", "out", "backend"),
+    ),
+    "BatchedDedispersionKernel.execute": (
+        "repro/opencl_sim/batch.py",
+        ("input_data", "delay_table", "out", "backend"),
+    ),
+    "execute_sharded": (
+        "repro/opencl_sim/batch.py",
+        ("config", "input_data", "delay_table", "shards", "out", "backend"),
+    ),
+    "_execute_sharded": (
+        "repro/opencl_sim/batch.py",
+        ("config", "input_data", "delay_table", "shards", "out", "backend"),
+    ),
+    "ExecutionEngine.execute_numeric": (
+        "repro/sched/engine.py",
+        ("input_data", "config", "batch", "out", "backend"),
+    ),
+    "DedispersionPlan.execute": (
+        "repro/core/plan.py",
+        ("input_data", "out", "backend"),
+    ),
+    "execute": (
+        "repro/run/facade.py",
+        ("request",),
+    ),
+}
+
+#: Spellings the redesign retired; none may reappear in an
+#: execute-family signature within the pinned files.
+ALIASES: dict[str, str] = {
+    "input_batch": "input_data",
+    "data_in": "input_data",
+    "delays": "delay_table",
+    "output": "out",
+    "out_buffer": "out",
+    "executor": "backend",
+    "kernel_backend": "backend",
+}
+
+
+def _signature(node: ast.FunctionDef) -> tuple[str, ...]:
+    """Parameter names, positional then keyword-only, without self."""
+    args = node.args
+    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    if names and names[0] == "self":
+        names = names[1:]
+    return tuple(names)
+
+
+def collect(path: Path) -> dict[str, tuple[ast.FunctionDef, str]]:
+    """qualname -> (node, relpath) for every function in ``path``."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    rel = str(path.relative_to(SRC))
+    found: dict[str, tuple[ast.FunctionDef, str]] = {}
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef):
+            found[node.name] = (node, rel)
+        elif isinstance(node, ast.ClassDef):
+            for member in node.body:
+                if isinstance(member, ast.FunctionDef):
+                    found[f"{node.name}.{member.name}"] = (member, rel)
+    return found
+
+
+def main() -> int:
+    errors: list[str] = []
+    functions: dict[str, tuple[ast.FunctionDef, str]] = {}
+    for relpath in sorted({file for file, _ in PINNED.values()}):
+        path = SRC / relpath
+        if not path.exists():
+            errors.append(f"{relpath}: pinned file is missing")
+            continue
+        functions.update(collect(path))
+
+    for qualname, (relpath, expected) in sorted(PINNED.items()):
+        entry = functions.get(qualname)
+        if entry is None:
+            errors.append(f"{relpath}: pinned entrypoint {qualname} is gone")
+            continue
+        node, where = entry
+        actual = _signature(node)
+        if actual != expected:
+            errors.append(
+                f"{where}:{node.lineno}: {qualname} has parameters "
+                f"{list(actual)}, expected {list(expected)}"
+            )
+
+    for qualname, (node, where) in sorted(functions.items()):
+        if "execute" not in node.name:
+            continue
+        for name in _signature(node):
+            if name in ALIASES:
+                errors.append(
+                    f"{where}:{node.lineno}: {qualname} uses retired "
+                    f"parameter name {name!r}; spell it "
+                    f"{ALIASES[name]!r}"
+                )
+
+    if errors:
+        print(f"{len(errors)} execute-signature violation(s):")
+        for error in errors:
+            print(f"  {error}")
+        return 1
+    print(f"checked {len(PINNED)} pinned entrypoints: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,7 +30,9 @@ FAMILY_PREFIXES = (
     "repro_fleet_",
     "repro_kernel_",
     "repro_pipeline_",
+    "repro_run_",
     "repro_sched_",
+    "repro_search_",
     "repro_service_",
     "repro_sim_",
     "repro_trace_",
