@@ -94,6 +94,21 @@ from repro.obs import (
     percentile,
     span,
 )
+from repro.tune import (
+    SearchStrategy,
+    SearchOutcome,
+    ExhaustiveSearch,
+    SuccessiveHalving,
+    ModelGuidedSearch,
+    build_strategy,
+    StudyConfig,
+    StudyResult,
+    run_study,
+    save_study,
+    load_study,
+    run_ablation,
+    AblationReport,
+)
 from repro.service import (
     TuningService,
     ServiceResponse,
@@ -190,6 +205,20 @@ __all__ = [
     "use_registry",
     "percentile",
     "span",
+    # model-guided search & ablation
+    "SearchStrategy",
+    "SearchOutcome",
+    "ExhaustiveSearch",
+    "SuccessiveHalving",
+    "ModelGuidedSearch",
+    "build_strategy",
+    "StudyConfig",
+    "StudyResult",
+    "run_study",
+    "save_study",
+    "load_study",
+    "run_ablation",
+    "AblationReport",
     # serving layer
     "TuningService",
     "ServiceResponse",

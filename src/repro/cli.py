@@ -80,10 +80,18 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         if args.zero_dm
         else DMTrialGrid(args.dms, step=args.dm_step)
     )
+    outcome = None
     if args.load:
         from repro.core.persistence import load_sweep
 
         result = load_sweep(args.load)
+    elif args.strategy != "exhaustive":
+        from repro.tune import build_strategy
+
+        outcome = build_strategy(args.strategy).search(
+            AutoTuner(device, setup), grid
+        )
+        result = outcome.result
     else:
         result = AutoTuner(device, setup).tune(grid)
     if args.save:
@@ -98,9 +106,94 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     print(f"optimum: {best.config.describe()}")
     print(f"         {best.metrics.summary()}")
     print(f"sweep  : {stats.summary()}")
+    if outcome is not None:
+        print(
+            f"search : {outcome.strategy} evaluated "
+            f"{outcome.evaluations:.1f}/{outcome.space_size} candidates "
+            f"({100.0 * outcome.fraction_evaluated:.1f}% of the space, "
+            f"{outcome.measurements} measurements)"
+        )
     needed = setup.realtime_gflops(grid.n_dms)
     verdict = "yes" if best.gflops >= needed else "NO"
     print(f"real-time: {verdict} (needs {needed:.1f} GFLOP/s)")
+    _persist_obs(quiet=True)
+    return 0
+
+
+def _parse_instances(text: str) -> list[int]:
+    instances = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            instances.append(int(token))
+        except ValueError:
+            raise ReproError(
+                f"invalid instance {token!r} (expected integers)"
+            ) from None
+    if not instances:
+        raise ReproError("no instances given (expected N,N,...)")
+    return instances
+
+
+def _cmd_ablate(args: argparse.Namespace) -> int:
+    from repro.tune import run_ablation
+
+    devices = [d.strip() for d in args.devices.split(",") if d.strip()]
+    setups = [s.strip() for s in args.setups.split(",") if s.strip()]
+    report = run_ablation(
+        devices,
+        setups,
+        _parse_instances(args.instances),
+        strategy=args.strategy,
+        dm_step=args.dm_step,
+        seed=args.seed,
+    )
+    print(report.render())
+    full = report.full
+    print(
+        f"\nfull {report.strategy}: "
+        f"{100.0 * full.match_rate:.0f}% optimum match at "
+        f"{100.0 * full.mean_fraction:.1f}% mean cost"
+    )
+    if args.out:
+        print(f"report written to {report.save(args.out)}")
+    _persist_obs(quiet=True)
+    return 0
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from pathlib import Path
+
+    from repro.tune import StudyConfig, run_study, save_study
+
+    if args.config:
+        document = json_module.loads(Path(args.config).read_text())
+        config = StudyConfig.from_dict(document)
+    else:
+        config = StudyConfig(
+            title=args.title,
+            devices=tuple(
+                d.strip() for d in args.devices.split(",") if d.strip()
+            ),
+            setups=tuple(
+                s.strip() for s in args.setups.split(",") if s.strip()
+            ),
+            instances=tuple(_parse_instances(args.instances)),
+            strategies=tuple(
+                s.strip() for s in args.strategies.split(",") if s.strip()
+            ),
+            seed=args.seed,
+            dm_step=args.dm_step,
+        )
+    result = run_study(config)
+    print(result.summary())
+    if args.out:
+        print(f"study written to {save_study(result, args.out)}")
+    _persist_obs(quiet=True)
     return 0
 
 
@@ -562,7 +655,64 @@ def build_parser() -> argparse.ArgumentParser:
         "--load", metavar="PATH", default="",
         help="load a previously saved sweep instead of re-tuning",
     )
+    tune.add_argument(
+        "--strategy",
+        choices=["exhaustive", "halving", "model-guided"],
+        default="exhaustive",
+        help="search strategy (non-exhaustive ones evaluate a fraction "
+             "of the space; see docs/tuning.md)",
+    )
     tune.set_defaults(func=_cmd_tune)
+
+    ablate = sub.add_parser(
+        "ablate", help="quantify each search heuristic's contribution"
+    )
+    ablate.add_argument(
+        "--strategy", choices=["halving", "model-guided"],
+        default="model-guided",
+    )
+    ablate.add_argument(
+        "--devices", default="HD7970",
+        help="comma-separated device names",
+    )
+    ablate.add_argument(
+        "--setups", default="apertif,lofar",
+        help="comma-separated setup names",
+    )
+    ablate.add_argument(
+        "--instances", default="64,256",
+        help="comma-separated DM counts",
+    )
+    ablate.add_argument("--dm-step", type=float, default=0.25)
+    ablate.add_argument("--seed", type=int, default=0)
+    ablate.add_argument(
+        "--out", metavar="PATH", default="",
+        help="also write the report as JSON to PATH",
+    )
+    ablate.set_defaults(func=_cmd_ablate)
+
+    study = sub.add_parser(
+        "study", help="run a declarative tuning study"
+    )
+    study.add_argument(
+        "--config", metavar="PATH", default="",
+        help="JSON StudyConfig document (overrides the other options)",
+    )
+    study.add_argument("--title", default="cli-study")
+    study.add_argument("--devices", default="HD7970")
+    study.add_argument("--setups", default="apertif")
+    study.add_argument("--instances", default="64,256")
+    study.add_argument(
+        "--strategies", default="model-guided",
+        help="comma-separated strategy names to evaluate",
+    )
+    study.add_argument("--dm-step", type=float, default=0.25)
+    study.add_argument("--seed", type=int, default=0)
+    study.add_argument(
+        "--out", metavar="PATH", default="",
+        help="persist the study result JSON to PATH",
+    )
+    study.set_defaults(func=_cmd_study)
 
     exp = sub.add_parser("experiment", help="regenerate a table/figure")
     exp.add_argument(

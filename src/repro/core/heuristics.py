@@ -39,16 +39,31 @@ from repro.utils.validation import require_positive_int
 
 @dataclass(frozen=True)
 class HeuristicOutcome:
-    """Result of a budgeted heuristic search."""
+    """Result of a budgeted heuristic search.
+
+    ``evaluations`` counts the distinct configurations actually pushed
+    through the model (cache hits are free, so it can undershoot the
+    budget); ``space_size`` is the meaningful-space size the search ran
+    against, making :attr:`fraction_evaluated` directly comparable with
+    :attr:`repro.tune.SearchOutcome.fraction_evaluated`.
+    """
 
     result: TuningResult
     evaluations: int
     budget: int
+    space_size: int = 0
 
     @property
     def best_gflops(self) -> float:
         """Best performance found within the budget."""
         return self.result.best.gflops
+
+    @property
+    def fraction_evaluated(self) -> float:
+        """Evaluated fraction of the meaningful space (0 when unknown)."""
+        if self.space_size <= 0:
+            return 0.0
+        return self.evaluations / self.space_size
 
 
 class _Evaluator:
@@ -166,6 +181,7 @@ def random_search(
         result=evaluator.result(),
         evaluations=len(evaluator.cache),
         budget=budget,
+        space_size=len(evaluator.configs),
     )
 
 
@@ -219,6 +235,7 @@ def simulated_annealing(
         result=evaluator.result(),
         evaluations=len(evaluator.cache),
         budget=budget,
+        space_size=len(evaluator.configs),
     )
 
 
@@ -267,6 +284,7 @@ def budgeted_tune(
         result=evaluator.result(),
         evaluations=len(evaluator.cache),
         budget=budget,
+        space_size=len(evaluator.configs),
     )
 
 
@@ -316,4 +334,5 @@ def hill_climb(
         result=evaluator.result(),
         evaluations=len(evaluator.cache),
         budget=budget,
+        space_size=len(evaluator.configs),
     )

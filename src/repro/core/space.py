@@ -18,7 +18,7 @@ constraint checker prune the rest:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Callable, Iterator
 
 from repro.astro.dm_trials import DMTrialGrid
 from repro.astro.observation import ObservationSetup
@@ -36,6 +36,11 @@ class TuningSpace:
     ``max_elements_time`` / ``max_elements_dm`` bound the per-work-item
     workload; the defaults cover the paper's observed optima (et up to 32,
     ed up to 8) with headroom.
+
+    ``predicate`` and ``limit`` are the lazy filtering hooks search
+    strategies use: a predicate restricts enumeration to configurations
+    it accepts, and a limit stops :meth:`iter_meaningful` after that many
+    yields — without ever materialising the full candidate list.
     """
 
     device: DeviceSpec
@@ -45,6 +50,8 @@ class TuningSpace:
     max_elements_time: int = 32
     max_elements_dm: int = 8
     max_work_items_dm: int = 64
+    predicate: Callable[[KernelConfiguration], bool] | None = None
+    limit: int | None = None
 
     def __post_init__(self) -> None:
         if self.samples == 0:
@@ -53,6 +60,8 @@ class TuningSpace:
         require_positive_int(self.max_elements_time, "max_elements_time")
         require_positive_int(self.max_elements_dm, "max_elements_dm")
         require_positive_int(self.max_work_items_dm, "max_work_items_dm")
+        if self.limit is not None:
+            require_positive_int(self.limit, "limit")
 
     # ------------------------------------------------------------------
     def _work_items_time_candidates(self) -> list[int]:
@@ -88,13 +97,29 @@ class TuningSpace:
                         elements_dm=ed,
                     )
 
+    def iter_meaningful(self) -> Iterator[KernelConfiguration]:
+        """Meaningful configurations, lazily, honouring the filter hooks.
+
+        Yields candidates that pass the constraint checker and the
+        optional ``predicate``, stopping after ``limit`` yields — the
+        enumeration a strategy can abandon early without paying for the
+        rest of the space.
+        """
+        yielded = 0
+        for c in self.candidates():
+            if self.limit is not None and yielded >= self.limit:
+                return
+            if self.predicate is not None and not self.predicate(c):
+                continue
+            if is_meaningful(
+                c, self.device, self.setup, self.grid, self.samples
+            ):
+                yielded += 1
+                yield c
+
     def meaningful(self) -> list[KernelConfiguration]:
         """All meaningful configurations for this (device, setup, instance)."""
-        return [
-            c
-            for c in self.candidates()
-            if is_meaningful(c, self.device, self.setup, self.grid, self.samples)
-        ]
+        return list(self.iter_meaningful())
 
     def size_estimate(self) -> int:
         """Number of geometric candidates (upper bound on sweep size)."""

@@ -111,6 +111,16 @@ class TuningService:
     warm_radius / warm_top_k / warm_probes:
         Pruning and guard knobs forwarded to
         :func:`repro.service.warmstart.warm_start_tune`.
+    strategy:
+        A :class:`~repro.tune.SearchStrategy` (or its registry name,
+        e.g. ``"model-guided"``) used for cold sweeps instead of the
+        exhaustive tuner; ``None`` keeps the paper's full sweep.
+        Warm-started sweeps are unaffected (they already prune the
+        space).
+    degraded_strategy:
+        Strategy used by the degradation path instead of
+        :func:`repro.core.heuristics.budgeted_tune`; ``None`` keeps the
+        budgeted heuristic.
     space_kwargs:
         Extra :class:`~repro.core.space.TuningSpace` arguments forwarded
         to every tuner.
@@ -134,6 +144,8 @@ class TuningService:
         warm_radius: int = 2,
         warm_top_k: int = 8,
         warm_probes: int = 8,
+        strategy=None,
+        degraded_strategy=None,
         space_kwargs: dict | None = None,
         tuner_factory: TunerFactory | None = None,
         registry: MetricsRegistry | None = None,
@@ -144,6 +156,8 @@ class TuningService:
             raise PipelineError("queue_limit must be >= 0")
         self.timeout_s = timeout_s
         self.degraded_budget = degraded_budget
+        self.strategy = self._resolve_strategy(strategy)
+        self.degraded_strategy = self._resolve_strategy(degraded_strategy)
         self.warm_start = warm_start
         self.warm_radius = warm_radius
         self.warm_top_k = warm_top_k
@@ -280,6 +294,15 @@ class TuningService:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    @staticmethod
+    def _resolve_strategy(spec):
+        """``None`` | strategy name | strategy instance -> instance/None."""
+        if spec is None:
+            return None
+        from repro.tune import build_strategy  # local: keep import light
+
+        return build_strategy(spec)
+
     def _respond(
         self,
         key: InstanceKey,
@@ -369,6 +392,11 @@ class TuningService:
                         self.stats.incr("warm_fallbacks")
                     result = report.result
                     source = "warm-fallback" if report.fell_back else "warm"
+                elif self.strategy is not None:
+                    outcome = self.strategy.search(tuner, grid)
+                    result = outcome.result
+                    source = f"strategy-{self.strategy.name}"
+                    self.stats.incr("strategy_searches")
                 else:
                     result = tuner.tune(grid)
                     source = "sweep"
@@ -400,14 +428,25 @@ class TuningService:
         Runs on the *caller's* thread (it must not need pool capacity —
         the pool being full is exactly why we are here) and is never
         cached: if an authoritative sweep is still in flight it will
-        populate the cache when it completes.
+        populate the cache when it completes.  With a
+        ``degraded_strategy`` configured the fallback is that strategy's
+        search instead of the budgeted heuristic; either way the model
+        evaluations actually spent are surfaced in
+        ``ServiceStats.degraded_evaluations``.
         """
-        outcome = budgeted_tune(
-            device, setup, grid, budget=self.degraded_budget
-        )
+        if self.degraded_strategy is not None:
+            tuner = self._tuner_factory(device, setup, self.space_kwargs)
+            search = self.degraded_strategy.search(tuner, grid)
+            result, evaluated = search.result, search.measurements
+        else:
+            outcome = budgeted_tune(
+                device, setup, grid, budget=self.degraded_budget
+            )
+            result, evaluated = outcome.result, outcome.evaluations
+        self.stats.incr("degraded_evaluations", by=evaluated)
         return self._respond(
             key,
-            outcome.result,
+            result,
             f"degraded-{reason}",
             started,
             degraded=True,

@@ -38,6 +38,11 @@ _COUNTER_METRICS: dict[str, tuple[str, dict[str, str]]] = {
         "repro_service_degraded_total",
         {"reason": "admission"},
     ),
+    "degraded_evaluations": (
+        "repro_service_degraded_evaluations_total",
+        {},
+    ),
+    "strategy_searches": ("repro_service_strategy_searches_total", {}),
     "invalidations": ("repro_service_invalidations_total", {}),
     "requests": ("repro_service_requests_total", {}),
 }
@@ -62,6 +67,8 @@ class StatsSnapshot:
     warm_fallbacks: int = 0
     degraded_timeout: int = 0
     degraded_admission: int = 0
+    degraded_evaluations: int = 0
+    strategy_searches: int = 0
     invalidations: int = 0
     requests: int = 0
     p50_latency_s: float = 0.0
@@ -95,6 +102,8 @@ class StatsSnapshot:
             ("warm-start fallbacks", self.warm_fallbacks),
             ("degraded (timeout)", self.degraded_timeout),
             ("degraded (admission)", self.degraded_admission),
+            ("degraded model evaluations", self.degraded_evaluations),
+            ("strategy searches", self.strategy_searches),
             ("stale entries invalidated", self.invalidations),
         ]
         width = max(len(label) for label, _ in rows)

@@ -1,0 +1,632 @@
+"""Search strategies that retire the exhaustive auto-tuning sweep.
+
+The paper tunes by brute force: "the algorithm is executed for every
+meaningful combination" (Sec. IV-A).  At fleet scale that sweep is the
+dominant cost of :class:`repro.service.TuningService`, so this module
+offers pluggable :class:`SearchStrategy` implementations that find the
+same optimum while *measuring* only a small fraction of the space:
+
+* :class:`ExhaustiveSearch` — the paper's sweep behind the strategy
+  interface (the baseline every other strategy is judged against);
+* :class:`SuccessiveHalving` — race a prior-seeded entry cohort on
+  progressively larger DM sub-instances, promoting only the survivors
+  to full fidelity.  The fidelity axis is ``n_dms`` rather than the
+  sample count: performance landscapes of neighbouring DM counts share
+  their optima (the same observation warm-start tuning exploits), while
+  truncating the time dimension distorts the overhead/compute balance;
+* :class:`ModelGuidedSearch` — rank the space with a *degraded*
+  hardware model (staging and coalescing-overhead terms disabled, so
+  its predictions are cheap and deliberately imperfect), measure the
+  top slice, re-rank the remainder with a local quadratic surrogate
+  fitted to the measurements, and finish with greedy neighbour ascent.
+
+Every strategy returns a :class:`SearchOutcome` whose ``evaluations``
+field is the search cost in *full-evaluation equivalents* (a rung at a
+quarter of the DM trials costs 0.25), which is what
+``benchmarks/bench_tune.py`` audits against the <=10%-of-candidates
+target.  Each strategy also declares its ablatable ``COMPONENTS`` so the
+:mod:`repro.tune.ablation` driver can toggle one heuristic at a time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import ClassVar
+
+import numpy as np
+
+from repro.astro.dm_trials import DMTrialGrid
+from repro.astro.observation import ObservationSetup
+from repro.core.config import KernelConfiguration
+from repro.core.tuner import AutoTuner, ConfigurationSample, TuningResult
+from repro.errors import TuningError
+from repro.hardware.device import DeviceSpec
+from repro.hardware.model import PerformanceModel
+from repro.obs import get_registry, span
+from repro.utils.intmath import ceil_div
+from repro.utils.rng import RandomStreams
+
+
+@dataclass(frozen=True)
+class SearchOutcome:
+    """What one strategy run produced and what it cost.
+
+    ``evaluations`` is the cost in full-evaluation equivalents (reduced
+    sub-instance measurements count fractionally); ``measurements`` is
+    the number of distinct model simulations actually executed.  The
+    embedded :class:`~repro.core.tuner.TuningResult` contains only
+    full-fidelity samples, so every downstream consumer (service cache,
+    persistence, statistics) sees the same shape a sweep produces.
+    """
+
+    strategy: str
+    result: TuningResult
+    evaluations: float
+    measurements: int
+    space_size: int
+
+    @property
+    def best(self) -> ConfigurationSample:
+        """The optimum found by the search."""
+        return self.result.best
+
+    @property
+    def fraction_evaluated(self) -> float:
+        """Search cost as a fraction of the exhaustive sweep."""
+        if self.space_size <= 0:
+            return 0.0
+        return self.evaluations / self.space_size
+
+    def describe(self) -> str:
+        """One-line summary for logs and CLI output."""
+        return (
+            f"{self.strategy}: {self.best.config.describe()} "
+            f"{self.best.gflops:.1f} GFLOP/s "
+            f"({self.evaluations:.1f}/{self.space_size} evals, "
+            f"{100.0 * self.fraction_evaluated:.1f}% of space)"
+        )
+
+
+def prior_scores(
+    device: DeviceSpec,
+    setup: ObservationSetup,
+    grid: DMTrialGrid,
+    configs: list[KernelConfiguration],
+    samples: int | None = None,
+) -> dict[KernelConfiguration, float]:
+    """Cheap performance prior: the hardware model with its second-order
+    terms (shared-memory staging, coalescing overhead) disabled.
+
+    Deliberately *not* the full model — strategies that consulted the
+    exact simulator would be measuring, not predicting.  Empirically the
+    degraded model still places the true optimum within the top few
+    percent of its ranking on every paper instance, which is all a
+    prior needs.
+    """
+    model = PerformanceModel(
+        device,
+        setup,
+        grid,
+        enable_staging=False,
+        enable_coalescing_overhead=False,
+    )
+    return {
+        c: model.simulate(c, samples=samples, validate=False).gflops
+        for c in configs
+    }
+
+
+class _CostedEvaluator:
+    """Caches model evaluations and accounts their fractional cost.
+
+    Full-instance evaluations cost 1; an evaluation on a DM sub-instance
+    of ``n`` trials costs ``n / n_dms``.  Repeats of the same
+    ``(config, n)`` coordinate are free (cached), and only full-fidelity
+    samples enter the final :class:`TuningResult`.
+    """
+
+    def __init__(self, tuner: AutoTuner, grid: DMTrialGrid, samples: int):
+        self.device = tuner.device
+        self.setup = tuner.setup
+        self.grid = grid
+        self.samples = samples
+        self._models: dict[int, PerformanceModel] = {
+            grid.n_dms: PerformanceModel(self.device, self.setup, grid)
+        }
+        self._cache: dict[
+            tuple[KernelConfiguration, int], ConfigurationSample
+        ] = {}
+        self.full_cache: dict[KernelConfiguration, ConfigurationSample] = {}
+        self.cost = 0.0
+
+    @property
+    def measurements(self) -> int:
+        return len(self._cache)
+
+    def _model_for(self, n_dms: int) -> PerformanceModel:
+        model = self._models.get(n_dms)
+        if model is None:
+            sub = DMTrialGrid(
+                n_dms=n_dms, first=self.grid.first, step=self.grid.step
+            )
+            model = PerformanceModel(self.device, self.setup, sub)
+            self._models[n_dms] = model
+        return model
+
+    def rounded_n_dms(self, config: KernelConfiguration, n_dms: int) -> int:
+        """Smallest sub-instance >= ``n_dms`` that ``config`` tiles exactly
+        (the memory model requires ``tile_dms`` to divide the DM count)."""
+        n = ceil_div(n_dms, config.tile_dms) * config.tile_dms
+        return min(self.grid.n_dms, n)
+
+    def evaluate_at(
+        self, config: KernelConfiguration, n_dms: int
+    ) -> ConfigurationSample:
+        n = self.rounded_n_dms(config, n_dms)
+        key = (config, n)
+        sample = self._cache.get(key)
+        if sample is None:
+            metrics = self._model_for(n).simulate(
+                config, samples=self.samples, validate=False
+            )
+            sample = ConfigurationSample(
+                config=config, gflops=metrics.gflops, metrics=metrics
+            )
+            self._cache[key] = sample
+            self.cost += n / self.grid.n_dms
+            if n == self.grid.n_dms:
+                self.full_cache[config] = sample
+        return sample
+
+    def evaluate(self, config: KernelConfiguration) -> ConfigurationSample:
+        return self.evaluate_at(config, self.grid.n_dms)
+
+    def result(self) -> TuningResult:
+        if not self.full_cache:
+            raise TuningError(
+                "search measured no configuration at full fidelity"
+            )
+        return TuningResult(
+            device=self.device,
+            setup=self.setup,
+            grid=self.grid,
+            samples=tuple(self.full_cache.values()),
+        )
+
+
+def _axis_values(
+    configs: list[KernelConfiguration],
+) -> dict[str, list[int]]:
+    axes: dict[str, set[int]] = {"wt": set(), "wd": set(), "et": set(), "ed": set()}
+    for c in configs:
+        axes["wt"].add(c.work_items_time)
+        axes["wd"].add(c.work_items_dm)
+        axes["et"].add(c.elements_time)
+        axes["ed"].add(c.elements_dm)
+    return {axis: sorted(values) for axis, values in axes.items()}
+
+
+def _notch_neighbours(
+    config: KernelConfiguration,
+    axis_values: dict[str, list[int]],
+    config_set: set[KernelConfiguration],
+) -> list[KernelConfiguration]:
+    """Meaningful configurations one notch away in a single parameter."""
+    current = {
+        "wt": config.work_items_time,
+        "wd": config.work_items_dm,
+        "et": config.elements_time,
+        "ed": config.elements_dm,
+    }
+    neighbours: list[KernelConfiguration] = []
+    for axis, values in axis_values.items():
+        if current[axis] not in values:
+            continue
+        idx = values.index(current[axis])
+        for step in (-1, 1):
+            j = idx + step
+            if not 0 <= j < len(values):
+                continue
+            params = dict(current)
+            params[axis] = values[j]
+            candidate = KernelConfiguration(
+                work_items_time=params["wt"],
+                work_items_dm=params["wd"],
+                elements_time=params["et"],
+                elements_dm=params["ed"],
+            )
+            if candidate in config_set:
+                neighbours.append(candidate)
+    return neighbours
+
+
+def _greedy_ascent(
+    evaluator: _CostedEvaluator,
+    configs: list[KernelConfiguration],
+    budget: int,
+) -> None:
+    """Full-fidelity best-neighbour ascent from the best measured point."""
+    if budget <= 0 or not evaluator.full_cache:
+        return
+    axis_values = _axis_values(configs)
+    config_set = set(configs)
+    start = evaluator.measurements
+    current = max(evaluator.full_cache.values(), key=lambda s: s.gflops)
+    improved = True
+    while improved and evaluator.measurements - start < budget:
+        improved = False
+        best_neighbour = None
+        for neighbour in _notch_neighbours(
+            current.config, axis_values, config_set
+        ):
+            if evaluator.measurements - start >= budget:
+                break
+            sample = evaluator.evaluate(neighbour)
+            if best_neighbour is None or sample.gflops > best_neighbour.gflops:
+                best_neighbour = sample
+        if best_neighbour is not None and best_neighbour.gflops > current.gflops:
+            current = best_neighbour
+            improved = True
+
+
+class SearchStrategy(ABC):
+    """Interface every tuning search implements.
+
+    :meth:`search` wraps the strategy-specific :meth:`_search` with the
+    ``tune.search`` span and the ``repro_tune_*`` metrics, so every
+    strategy is metered identically no matter who invokes it (CLI,
+    service, study driver, benchmarks).
+    """
+
+    #: Registry name of the strategy (also its CLI spelling).
+    name: ClassVar[str] = ""
+
+    #: Ablatable component -> boolean field that disables it.
+    COMPONENTS: ClassVar[dict[str, str]] = {}
+
+    def search(
+        self,
+        tuner: AutoTuner,
+        grid: DMTrialGrid,
+        samples: int | None = None,
+    ) -> SearchOutcome:
+        """Run the search on one (device, setup, instance) combination."""
+        with span(
+            "tune.search",
+            strategy=self.name,
+            device=tuner.device.name,
+            setup=tuner.setup.name,
+            n_dms=grid.n_dms,
+        ) as search_span:
+            outcome = self._search(tuner, grid, samples)
+            search_span.attributes["space_size"] = outcome.space_size
+            search_span.attributes["measurements"] = outcome.measurements
+            registry = get_registry()
+            labels = {
+                "strategy": self.name,
+                "device": tuner.device.name,
+                "setup": tuner.setup.name,
+            }
+            registry.counter("repro_tune_searches_total", **labels).inc()
+            registry.counter(
+                "repro_tune_measurements_total", **labels
+            ).inc(outcome.measurements)
+            registry.histogram(
+                "repro_tune_fraction_evaluated_ratio", strategy=self.name
+            ).observe(outcome.fraction_evaluated)
+            registry.gauge("repro_tune_best_gflops", **labels).set(
+                outcome.best.gflops
+            )
+            return outcome
+
+    @abstractmethod
+    def _search(
+        self,
+        tuner: AutoTuner,
+        grid: DMTrialGrid,
+        samples: int | None,
+    ) -> SearchOutcome:
+        """Strategy-specific search body (no instrumentation)."""
+
+    @property
+    def components(self) -> tuple[str, ...]:
+        """Names of this strategy's ablatable components."""
+        return tuple(self.COMPONENTS)
+
+    def without(self, component: str) -> "SearchStrategy":
+        """A copy of this strategy with one component disabled."""
+        field = self.COMPONENTS.get(component)
+        if field is None:
+            raise TuningError(
+                f"strategy {self.name!r} has no ablatable component "
+                f"{component!r}; known: {', '.join(sorted(self.COMPONENTS))}"
+            )
+        return dataclasses.replace(self, **{field: False})
+
+    # ------------------------------------------------------------------
+    def _meaningful(
+        self, tuner: AutoTuner, grid: DMTrialGrid, samples: int
+    ) -> list[KernelConfiguration]:
+        configs = tuner.space(grid, samples).meaningful()
+        if not configs:
+            raise TuningError(
+                f"search space is empty for {tuner.device.name}/"
+                f"{tuner.setup.name}/{grid.n_dms} DMs"
+            )
+        return configs
+
+
+@dataclass(frozen=True)
+class ExhaustiveSearch(SearchStrategy):
+    """The paper's sweep behind the strategy interface (the baseline)."""
+
+    name: ClassVar[str] = "exhaustive"
+
+    def _search(
+        self,
+        tuner: AutoTuner,
+        grid: DMTrialGrid,
+        samples: int | None,
+    ) -> SearchOutcome:
+        result = tuner.tune(grid, samples=samples)
+        n = result.n_configurations
+        return SearchOutcome(
+            strategy=self.name,
+            result=result,
+            evaluations=float(n),
+            measurements=n,
+            space_size=n,
+        )
+
+
+@dataclass(frozen=True)
+class SuccessiveHalving(SearchStrategy):
+    """Race configurations on progressively larger DM sub-instances.
+
+    An entry cohort (the prior's top ``entry_fraction`` of the space, or
+    a seeded random cohort when the prior is ablated) is evaluated on a
+    small DM sub-instance, the best ``1/eta`` survive to the next rung,
+    and the finalists are measured at full fidelity.  Per-config rung
+    sizes are rounded up to the config's own ``tile_dms`` multiple so
+    every sub-instance tiles exactly.  A short full-fidelity neighbour
+    ascent (``refine``) polishes the winner.
+    """
+
+    eta: int = 4
+    rungs: int = 2
+    entry_fraction: float = 0.25
+    entry_floor: int = 24
+    keep_floor: int = 16
+    seed: int = 0
+    prior: bool = True
+    racing: bool = True
+    refine: bool = True
+
+    name: ClassVar[str] = "halving"
+    COMPONENTS: ClassVar[dict[str, str]] = {
+        "prior": "prior",
+        "racing": "racing",
+        "refine": "refine",
+    }
+
+    def __post_init__(self) -> None:
+        if self.eta < 2:
+            raise TuningError("eta must be >= 2")
+        if self.rungs < 1:
+            raise TuningError("rungs must be >= 1")
+        if not 0.0 < self.entry_fraction <= 1.0:
+            raise TuningError("entry_fraction must be in (0, 1]")
+
+    def _search(
+        self,
+        tuner: AutoTuner,
+        grid: DMTrialGrid,
+        samples: int | None,
+    ) -> SearchOutcome:
+        s = tuner.setup.samples_per_batch if samples is None else samples
+        configs = self._meaningful(tuner, grid, s)
+        n = len(configs)
+        evaluator = _CostedEvaluator(tuner, grid, s)
+
+        entry = min(n, max(self.entry_floor, round(self.entry_fraction * n)))
+        if self.prior:
+            scores = prior_scores(
+                tuner.device, tuner.setup, grid, configs, samples=s
+            )
+            entrants = sorted(
+                configs, key=lambda c: (-scores[c], c.as_tuple())
+            )[:entry]
+        else:
+            pool = sorted(configs, key=lambda c: c.as_tuple())
+            rng = RandomStreams(self.seed).python("halving-entry")
+            entrants = rng.sample(pool, entry)
+
+        if self.racing:
+            for k in range(self.rungs):
+                n_k = max(1, grid.n_dms // self.eta ** (self.rungs - k))
+                if n_k >= grid.n_dms:
+                    break
+                scored = [
+                    (evaluator.evaluate_at(c, n_k).gflops, c)
+                    for c in entrants
+                ]
+                keep = max(self.keep_floor, ceil_div(len(entrants), self.eta))
+                scored.sort(key=lambda t: (-t[0], t[1].as_tuple()))
+                entrants = [c for _, c in scored[:keep]]
+
+        for config in entrants:
+            evaluator.evaluate(config)
+        if self.refine:
+            _greedy_ascent(evaluator, configs, max(8, round(0.01 * n)))
+
+        return SearchOutcome(
+            strategy=self.name,
+            result=evaluator.result(),
+            evaluations=evaluator.cost,
+            measurements=evaluator.measurements,
+            space_size=n,
+        )
+
+
+def _surrogate_features(config: KernelConfiguration) -> list[float]:
+    """Quadratic feature vector over the log2 parameters."""
+    logs = [
+        math.log2(config.work_items_time),
+        math.log2(config.work_items_dm),
+        math.log2(config.elements_time),
+        math.log2(config.elements_dm),
+    ]
+    features = [1.0] + logs
+    for i in range(4):
+        for j in range(i, 4):
+            features.append(logs[i] * logs[j])
+    return features
+
+
+def _surrogate_rank(
+    measured: list[ConfigurationSample],
+    unmeasured: list[KernelConfiguration],
+) -> list[KernelConfiguration]:
+    """Unmeasured configs ranked by a ridge-regularised quadratic fit."""
+    if len(measured) < 3 or not unmeasured:
+        return list(unmeasured)
+    x = np.asarray(
+        [_surrogate_features(s.config) for s in measured], dtype=np.float64
+    )
+    y = np.asarray([s.gflops for s in measured], dtype=np.float64)
+    gram = x.T @ x + 1e-3 * np.eye(x.shape[1])
+    weights = np.linalg.solve(gram, x.T @ y)
+    candidates = np.asarray(
+        [_surrogate_features(c) for c in unmeasured], dtype=np.float64
+    )
+    predictions = candidates @ weights
+    order = sorted(
+        range(len(unmeasured)),
+        key=lambda i: (-predictions[i], unmeasured[i].as_tuple()),
+    )
+    return [unmeasured[i] for i in order]
+
+
+@dataclass(frozen=True)
+class ModelGuidedSearch(SearchStrategy):
+    """Prior-ranked measurement with surrogate refinement and ascent.
+
+    The degraded hardware model ranks the whole space for free; the top
+    slice of the ranking is measured; a quadratic surrogate fitted to
+    those measurements re-ranks the remainder and the most promising
+    predictions are measured too; greedy neighbour ascent spends the
+    rest of the budget escaping any residual prior bias.  Total
+    measurements are capped at ``max(min_measurements, fraction * N)``.
+    """
+
+    fraction: float = 0.08
+    min_measurements: int = 20
+    seed: int = 0
+    prior: bool = True
+    surrogate: bool = True
+    ascent: bool = True
+
+    name: ClassVar[str] = "model-guided"
+    COMPONENTS: ClassVar[dict[str, str]] = {
+        "prior": "prior",
+        "surrogate": "surrogate",
+        "ascent": "ascent",
+    }
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction <= 1.0:
+            raise TuningError("fraction must be in (0, 1]")
+        if self.min_measurements < 3:
+            raise TuningError("min_measurements must be >= 3")
+
+    def _search(
+        self,
+        tuner: AutoTuner,
+        grid: DMTrialGrid,
+        samples: int | None,
+    ) -> SearchOutcome:
+        s = tuner.setup.samples_per_batch if samples is None else samples
+        configs = self._meaningful(tuner, grid, s)
+        n = len(configs)
+        evaluator = _CostedEvaluator(tuner, grid, s)
+
+        budget = min(n, max(self.min_measurements, round(self.fraction * n)))
+        refine_budget = max(2, round(0.2 * budget)) if self.surrogate else 0
+        climb_budget = max(4, round(0.2 * budget)) if self.ascent else 0
+        measure_budget = max(1, budget - refine_budget - climb_budget)
+
+        if self.prior:
+            scores = prior_scores(
+                tuner.device, tuner.setup, grid, configs, samples=s
+            )
+            ranked = sorted(
+                configs, key=lambda c: (-scores[c], c.as_tuple())
+            )
+        else:
+            ranked = sorted(configs, key=lambda c: c.as_tuple())
+            RandomStreams(self.seed).python("model-guided").shuffle(ranked)
+        for config in ranked[:measure_budget]:
+            evaluator.evaluate(config)
+
+        if self.surrogate and refine_budget > 0:
+            unmeasured = [
+                c for c in configs if c not in evaluator.full_cache
+            ]
+            for config in _surrogate_rank(
+                list(evaluator.full_cache.values()), unmeasured
+            )[:refine_budget]:
+                evaluator.evaluate(config)
+
+        if self.ascent:
+            _greedy_ascent(evaluator, configs, climb_budget)
+
+        return SearchOutcome(
+            strategy=self.name,
+            result=evaluator.result(),
+            evaluations=evaluator.cost,
+            measurements=evaluator.measurements,
+            space_size=n,
+        )
+
+
+#: Registry of built-in strategies by CLI/service name.
+STRATEGIES: dict[str, type[SearchStrategy]] = {
+    ExhaustiveSearch.name: ExhaustiveSearch,
+    SuccessiveHalving.name: SuccessiveHalving,
+    ModelGuidedSearch.name: ModelGuidedSearch,
+}
+
+
+def strategy_accepts(name: str, parameter: str) -> bool:
+    """Whether the named strategy's constructor takes ``parameter``."""
+    cls = STRATEGIES.get(name)
+    if cls is None:
+        return False
+    return parameter in {f.name for f in dataclasses.fields(cls)}
+
+
+def build_strategy(
+    spec: "SearchStrategy | str", **kwargs
+) -> SearchStrategy:
+    """Resolve a strategy instance from a name (or pass one through)."""
+    if isinstance(spec, SearchStrategy):
+        if kwargs:
+            raise TuningError(
+                "cannot combine a strategy instance with keyword overrides"
+            )
+        return spec
+    cls = STRATEGIES.get(str(spec))
+    if cls is None:
+        raise TuningError(
+            f"unknown search strategy {spec!r}; "
+            f"known: {', '.join(sorted(STRATEGIES))}"
+        )
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise TuningError(
+            f"bad arguments for strategy {spec!r}: {exc}"
+        ) from None

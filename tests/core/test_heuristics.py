@@ -169,3 +169,43 @@ class TestBudgetedTune:
 
         with pytest.raises(ValidationError):
             budgeted_tune(hd7970(), apertif(), GRID, budget=0)
+
+
+class TestSpaceAccounting:
+    def test_outcomes_report_space_size(self, exhaustive):
+        from repro.core.heuristics import budgeted_tune, simulated_annealing
+
+        for outcome in (
+            random_search(hd7970(), apertif(), GRID, budget=10),
+            hill_climb(hd7970(), apertif(), GRID, budget=10),
+            simulated_annealing(hd7970(), apertif(), GRID, budget=10),
+            budgeted_tune(hd7970(), apertif(), GRID, budget=10),
+        ):
+            assert outcome.space_size == exhaustive.n_configurations
+
+    def test_fraction_evaluated(self):
+        outcome = random_search(hd7970(), apertif(), GRID, budget=10)
+        assert outcome.fraction_evaluated == pytest.approx(
+            outcome.evaluations / outcome.space_size
+        )
+        assert 0.0 < outcome.fraction_evaluated < 1.0
+
+    def test_fraction_evaluated_safe_without_space_size(self):
+        from repro.core.heuristics import HeuristicOutcome
+
+        outcome = random_search(hd7970(), apertif(), GRID, budget=5)
+        legacy = HeuristicOutcome(
+            result=outcome.result,
+            evaluations=outcome.evaluations,
+            budget=5,
+        )
+        assert legacy.space_size == 0
+        assert legacy.fraction_evaluated == 0.0
+
+    def test_budgeted_tune_reports_actual_evaluations(self):
+        from repro.core.heuristics import budgeted_tune
+
+        outcome = budgeted_tune(hd7970(), apertif(), GRID, budget=24)
+        # The count must reflect configurations actually simulated, not
+        # the requested budget.
+        assert outcome.evaluations == outcome.result.n_configurations

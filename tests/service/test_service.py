@@ -230,6 +230,71 @@ class TestDegradation:
             service.get(DEVICE, apertif(), 8)
 
 
+class TestSearchStrategies:
+    def test_cold_miss_uses_configured_strategy(self):
+        with TuningService(strategy="model-guided") as service:
+            response = service.get(DEVICE, apertif(), 32)
+            again = service.get(DEVICE, apertif(), 32)
+        assert response.source == "strategy-model-guided"
+        assert not response.degraded
+        assert response.best.gflops > 0
+        # The strategy's answer is cached like a sweep's.
+        assert again.source == "memory"
+        assert again.best.config == response.best.config
+        snap = service.snapshot()
+        assert snap.strategy_searches == 1
+        # The strategy job still counts as the instance's one cold sweep.
+        assert snap.sweeps == 1
+
+    def test_strategy_matches_exhaustive_optimum_end_to_end(self):
+        with TuningService() as exhaustive_service:
+            swept = exhaustive_service.get(DEVICE, apertif(), 64)
+        with TuningService(strategy="model-guided") as service:
+            guided = service.get(DEVICE, apertif(), 64)
+        assert guided.best.gflops >= swept.best.gflops - 1e-9
+
+    def test_strategy_instance_accepted(self):
+        from repro.tune import SuccessiveHalving
+
+        with TuningService(strategy=SuccessiveHalving(seed=1)) as service:
+            response = service.get(DEVICE, apertif(), 32)
+        assert response.source == "strategy-halving"
+
+    def test_unknown_strategy_name_rejected(self):
+        from repro.errors import TuningError
+
+        with pytest.raises(TuningError):
+            TuningService(strategy="gradient-descent")
+
+    def test_degraded_strategy_serves_timeouts(self):
+        started, release = threading.Event(), threading.Event()
+        with TuningService(
+            tuner_factory=gated_factory(started, release),
+            timeout_s=0.05,
+            degraded_strategy="model-guided",
+        ) as service:
+            degraded = service.get(DEVICE, apertif(), 32)
+            release.set()
+        assert degraded.degraded
+        assert degraded.source == "degraded-timeout"
+        snap = service.snapshot()
+        assert snap.degraded_timeout == 1
+        # The fallback search's measurements are accounted for.
+        assert snap.degraded_evaluations > 0
+
+    def test_budgeted_fallback_counts_degraded_evaluations(self):
+        started, release = threading.Event(), threading.Event()
+        with TuningService(
+            tuner_factory=gated_factory(started, release),
+            timeout_s=0.05,
+        ) as service:
+            degraded = service.get(DEVICE, apertif(), 32)
+            release.set()
+        assert degraded.degraded
+        snap = service.snapshot()
+        assert 0 < snap.degraded_evaluations <= service.degraded_budget
+
+
 @pytest.mark.slow
 class TestConcurrencyStress:
     def test_many_clients_many_instances(self):

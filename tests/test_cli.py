@@ -37,6 +37,77 @@ class TestTune:
         assert main(["tune", "--setup", "ska", "--dms", "8"]) == 2
         assert "error" in capsys.readouterr().err
 
+    def test_model_guided_strategy_reports_search_cost(self, capsys):
+        code = main(
+            ["tune", "--device", "HD7970", "--setup", "lofar",
+             "--dms", "64", "--strategy", "model-guided"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "optimum" in out
+        assert "search : model-guided" in out
+        assert "% of the space" in out
+
+    def test_exhaustive_prints_no_search_line(self, capsys):
+        assert main(
+            ["tune", "--device", "HD7970", "--setup", "lofar",
+             "--dms", "32", "--strategy", "exhaustive"]
+        ) == 0
+        assert "search :" not in capsys.readouterr().out
+
+
+class TestAblate:
+    def test_reports_every_variant(self, capsys, tmp_path):
+        out_path = tmp_path / "ablation.json"
+        code = main(
+            ["ablate", "--strategy", "model-guided", "--devices", "HD7970",
+             "--setups", "lofar", "--instances", "64",
+             "--out", str(out_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for variant in ("full", "no-prior", "no-surrogate", "no-ascent"):
+            assert variant in out
+        assert "optimum match" in out
+        assert out_path.exists()
+
+    def test_bad_instances_fail_cleanly(self, capsys):
+        assert main(
+            ["ablate", "--instances", "sixty-four"]
+        ) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestStudy:
+    def test_runs_flag_built_study(self, capsys, tmp_path):
+        out_path = tmp_path / "study.json"
+        code = main(
+            ["study", "--title", "smoke", "--devices", "HD7970",
+             "--setups", "lofar", "--instances", "64",
+             "--strategies", "model-guided", "--out", str(out_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "smoke" in out
+        assert "HD7970:lofar:64:model-guided" in out
+        assert out_path.exists()
+
+    def test_runs_config_file_study(self, capsys, tmp_path):
+        import json
+
+        from repro.tune import StudyConfig
+
+        config = StudyConfig(
+            title="from-file", devices=("HD7970",), setups=("lofar",),
+            instances=(64,), strategies=("halving",),
+        )
+        path = tmp_path / "config.json"
+        path.write_text(json.dumps(config.to_dict()))
+        assert main(["study", "--config", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "from-file" in out
+        assert "halving" in out
+
 
 class TestService:
     def test_serves_concurrent_clients_and_prints_stats(self, capsys):

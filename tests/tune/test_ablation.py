@@ -1,0 +1,70 @@
+"""Unit tests for repro.tune.ablation — the component-toggle driver."""
+
+import json
+
+import pytest
+
+from repro.errors import TuningError
+from repro.tune import AblationReport, run_ablation
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_ablation(
+        ["HD7970"], ["lofar"], [64], strategy="model-guided"
+    )
+
+
+class TestRunAblation:
+    def test_one_entry_per_component_plus_full(self, report):
+        variants = [entry.variant for entry in report.entries]
+        assert variants == ["full", "no-prior", "no-surrogate", "no-ascent"]
+
+    def test_full_entry_matches_on_the_easy_instance(self, report):
+        assert report.full.matches == report.full.runs == 1
+        assert 0.0 < report.full.mean_fraction < 0.2
+        assert report.full.mean_fraction <= report.full.max_fraction
+
+    def test_exhaustive_has_no_components(self):
+        with pytest.raises(TuningError, match="no ablatable components"):
+            run_ablation(["HD7970"], ["lofar"], [64], strategy="exhaustive")
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(TuningError, match="at least one instance"):
+            run_ablation(["HD7970"], ["lofar"], [], strategy="model-guided")
+
+    def test_counts_ablations_metric(self):
+        from repro.obs import use_registry
+
+        with use_registry() as registry:
+            run_ablation(["HD7970"], ["lofar"], [64], strategy="halving")
+        names = {instrument.name for instrument in registry.series()}
+        assert "repro_tune_ablations_total" in names
+
+
+class TestReport:
+    def test_render_tabulates_all_variants(self, report):
+        text = report.render()
+        assert "model-guided" in text
+        for entry in report.entries:
+            assert entry.variant in text
+
+    def test_save_and_reload_document(self, report, tmp_path):
+        path = report.save(tmp_path / "ablation.json")
+        document = json.loads(path.read_text())
+        assert document["strategy"] == "model-guided"
+        assert len(document["entries"]) == len(report.entries)
+        assert document["entries"][0]["variant"] == "full"
+
+    def test_full_property_requires_full_entry(self, report):
+        stripped = AblationReport(
+            strategy=report.strategy,
+            devices=report.devices,
+            setups=report.setups,
+            instances=report.instances,
+            entries=tuple(
+                e for e in report.entries if e.variant != "full"
+            ),
+        )
+        with pytest.raises(TuningError):
+            stripped.full

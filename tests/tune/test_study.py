@@ -1,0 +1,190 @@
+"""Unit tests for repro.tune.study — declarative studies + persistence."""
+
+import json
+
+import pytest
+
+from repro.errors import SchemaVersionError, TuningError, ValidationError
+from repro.tune import (
+    STUDY_SCHEMA_VERSION,
+    StudyConfig,
+    StudyResult,
+    expand_kwargs_ranges,
+    load_study,
+    run_study,
+    save_study,
+    study_to_document,
+)
+
+SMALL = dict(
+    title="unit",
+    devices=("HD7970",),
+    setups=("lofar",),
+    instances=(64,),
+)
+
+
+@pytest.fixture(scope="module")
+def small_study():
+    return run_study(StudyConfig(**SMALL))
+
+
+class TestKwargsRanges:
+    def test_values_list(self):
+        variants = expand_kwargs_ranges({"eta": {"values": [2, 4]}})
+        assert variants == [{"eta": 2}, {"eta": 4}]
+
+    def test_int_range(self):
+        variants = expand_kwargs_ranges(
+            {"rungs": {"type": "int", "low": 1, "high": 3}}
+        )
+        assert variants == [{"rungs": 1}, {"rungs": 2}, {"rungs": 3}]
+
+    def test_power_two_scale(self):
+        variants = expand_kwargs_ranges(
+            {"keep_floor": {
+                "type": "int", "low": 4, "high": 16, "scale": "power_two",
+            }}
+        )
+        assert [v["keep_floor"] for v in variants] == [4, 8, 16]
+
+    def test_float_linspace(self):
+        variants = expand_kwargs_ranges(
+            {"fraction": {
+                "type": "float", "low": 0.1, "high": 0.3, "steps": 3,
+            }}
+        )
+        values = [v["fraction"] for v in variants]
+        assert values == pytest.approx([0.1, 0.2, 0.3])
+
+    def test_cross_product_is_ordered(self):
+        variants = expand_kwargs_ranges(
+            {
+                "b": {"values": [1, 2]},
+                "a": {"values": [10]},
+            }
+        )
+        assert variants == [{"a": 10, "b": 1}, {"a": 10, "b": 2}]
+
+    def test_empty_ranges_yield_single_empty_variant(self):
+        assert expand_kwargs_ranges({}) == [{}]
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(ValidationError):
+            expand_kwargs_ranges({"x": {"values": []}})
+        with pytest.raises(ValidationError):
+            expand_kwargs_ranges({"x": {"type": "str", "low": 1, "high": 2}})
+        with pytest.raises(ValidationError):
+            expand_kwargs_ranges({"x": {"type": "int", "low": 5, "high": 1}})
+        with pytest.raises(ValidationError):
+            expand_kwargs_ranges({"x": 42})
+
+
+class TestStudyConfig:
+    def test_validates_empty_axes(self):
+        with pytest.raises(ValidationError):
+            StudyConfig(title="t", devices=(), setups=("lofar",),
+                        instances=(64,))
+        with pytest.raises(ValidationError):
+            StudyConfig(title="", devices=("HD7970",), setups=("lofar",),
+                        instances=(64,))
+
+    def test_round_trips_through_dict(self):
+        config = StudyConfig(
+            **SMALL,
+            strategies=("halving",),
+            kwargs={"eta": 2},
+            kwargs_ranges={"rungs": {"values": [1, 2]}},
+            seed=9,
+        )
+        assert StudyConfig.from_dict(config.to_dict()) == config
+
+    def test_from_dict_missing_key_raises(self):
+        with pytest.raises(ValidationError, match="missing"):
+            StudyConfig.from_dict({"title": "x"})
+
+
+class TestRunStudy:
+    def test_runs_cover_the_matrix(self, small_study):
+        assert len(small_study.results) == 1
+        run = small_study.results[0].run
+        assert run.device == "HD7970"
+        assert run.setup == "lofar"
+        assert run.n_dms == 64
+        assert run.strategy == "model-guided"
+
+    def test_baseline_judges_matches(self, small_study):
+        result = small_study.results[0]
+        assert result.matched_optimum is not None
+        assert result.optimum_gflops is not None
+        assert 0.0 < result.fraction_evaluated < 1.0
+
+    def test_no_baseline_leaves_match_unjudged(self):
+        study = run_study(StudyConfig(**SMALL, baseline=False))
+        assert study.results[0].matched_optimum is None
+        assert study.match_rate == 0.0
+
+    def test_kwargs_ranges_expand_into_runs(self):
+        study = run_study(
+            StudyConfig(
+                **SMALL,
+                strategies=("halving",),
+                kwargs_ranges={"eta": {"values": [2, 4]}},
+            )
+        )
+        assert len(study.results) == 2
+        etas = {r.run.kwargs["eta"] for r in study.results}
+        assert etas == {2, 4}
+
+    def test_summary_mentions_every_run(self, small_study):
+        text = small_study.summary()
+        assert "unit" in text
+        assert "HD7970:lofar:64:model-guided" in text
+
+    def test_unknown_setup_rejected(self):
+        config = StudyConfig(
+            title="bad", devices=("HD7970",), setups=("alma",),
+            instances=(64,),
+        )
+        with pytest.raises(ValidationError, match="unknown setup"):
+            run_study(config)
+
+    def test_empty_results_rejected(self, small_study):
+        with pytest.raises(TuningError):
+            StudyResult(config=small_study.config, results=())
+
+
+class TestPersistence:
+    def test_same_seed_same_config_byte_identical(self, tmp_path):
+        config = StudyConfig(
+            **SMALL,
+            strategies=("model-guided", "halving"),
+            kwargs_ranges={"seed": {"values": [0, 1]}},
+        )
+        a = save_study(run_study(config), tmp_path / "a.json")
+        b = save_study(run_study(config), tmp_path / "b.json")
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_round_trip(self, small_study, tmp_path):
+        path = save_study(small_study, tmp_path / "study.json")
+        loaded = load_study(path)
+        assert loaded.config == small_study.config
+        assert loaded.results == small_study.results
+
+    def test_document_carries_schema(self, small_study):
+        document = study_to_document(small_study)
+        assert document["schema"] == STUDY_SCHEMA_VERSION
+
+    def test_newer_schema_raises_schema_error(self, small_study, tmp_path):
+        document = study_to_document(small_study)
+        document["schema"] = STUDY_SCHEMA_VERSION + 1
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps(document))
+        with pytest.raises(SchemaVersionError, match="newer version"):
+            load_study(path)
+
+    def test_garbage_schema_raises_validation_error(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text(json.dumps({"schema": "v1"}))
+        with pytest.raises(ValidationError):
+            load_study(path)

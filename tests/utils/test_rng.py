@@ -11,7 +11,12 @@ from repro.utils.rng import RandomStreams, derive_seed
 SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
 SCHED_SRC = SRC / "sched"
 #: Modules outside sched that must also draw only from RandomStreams.
-EXTRA_SEEDED_MODULES = (SRC / "core" / "heuristics.py",)
+EXTRA_SEEDED_MODULES = (
+    SRC / "core" / "heuristics.py",
+    SRC / "tune" / "strategy.py",
+    SRC / "tune" / "study.py",
+    SRC / "tune" / "ablation.py",
+)
 
 
 class TestDeriveSeed:

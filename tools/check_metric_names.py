@@ -36,6 +36,7 @@ FAMILY_PREFIXES = (
     "repro_service_",
     "repro_sim_",
     "repro_trace_",
+    "repro_tune_",
     "repro_tuner_",
 )
 HISTOGRAM_UNITS = ("_seconds", "_bytes", "_gflops", "_ratio", "_samples")
