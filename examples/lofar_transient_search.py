@@ -12,11 +12,18 @@ Run with::
     python examples/lofar_transient_search.py
 """
 
-import numpy as np
-
-from repro import DMTrialGrid, ObservationSetup, SyntheticPulsar, gtx_titan
+from repro import (
+    CompositeSource,
+    DMTrialGrid,
+    NoiseSource,
+    ObservationSetup,
+    PulsarSource,
+    RandomStreams,
+    SyntheticPulsar,
+    gtx_titan,
+)
+from repro.astro.dispersion import max_delay_samples
 from repro.astro.pulse import scattered_profile
-from repro.astro.signal_gen import generate_observation
 from repro.astro.snr import best_boxcar_snr, detect_dm
 from repro.core.dedisperse import dedisperse
 
@@ -41,13 +48,9 @@ def main() -> int:
         profile=scattered_profile(width=0.004, tail=0.02, centre=0.25),
         spectral_index=-1.5,  # steep spectrum, brighter at low frequency
     )
-    data = generate_observation(
-        setup,
-        duration_seconds=1.0,
-        pulsars=[burst],
-        max_dm=grid.last,
-        rng=np.random.default_rng(7),
-    )
+    source = CompositeSource((NoiseSource(sigma=1.0), PulsarSource(burst)))
+    n_samples = setup.samples_per_second + max_delay_samples(setup, grid.last)
+    data, _truth = source.generate(setup, n_samples, RandomStreams(7))
     print(f"setup : {setup.describe()}")
     print(f"burst : DM {true_dm}, scattered profile, spectral index -1.5")
 

@@ -11,10 +11,16 @@ Run with::
     python examples/opencl_host_style.py
 """
 
-import numpy as np
-
-from repro import DMTrialGrid, ObservationSetup, SyntheticPulsar
-from repro.astro.signal_gen import generate_observation
+from repro import (
+    CompositeSource,
+    DMTrialGrid,
+    NoiseSource,
+    ObservationSetup,
+    PulsarSource,
+    RandomStreams,
+    SyntheticPulsar,
+)
+from repro.astro.dispersion import max_delay_samples
 from repro.astro.snr import detect_dm
 from repro.core.plan import DedispersionPlan
 from repro.opencl_sim import CommandQueue, Context, SimPlatform
@@ -59,13 +65,12 @@ def main() -> int:
     print(f"\ndevice allocations: {context.allocated_bytes / 1e6:.2f} MB")
 
     # --- host -> device, launch, device -> host ---
-    data = generate_observation(
-        setup,
-        1.0,
-        pulsars=[SyntheticPulsar(0.2, dm=9.0, amplitude=1.2)],
-        max_dm=grid.last,
-        rng=np.random.default_rng(5),
-    )
+    source = CompositeSource((
+        NoiseSource(sigma=1.0),
+        PulsarSource(SyntheticPulsar(0.2, dm=9.0, amplitude=1.2)),
+    ))
+    n_samples = setup.samples_per_second + max_delay_samples(setup, grid.last)
+    data, _truth = source.generate(setup, n_samples, RandomStreams(5))
     input_buf.write(data[:, : plan.required_input_samples])
     event = plan.enqueue(queue, input_buf, output_buf)
     queue.finish()

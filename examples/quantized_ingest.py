@@ -17,14 +17,22 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import DMTrialGrid, ObservationSetup, SyntheticPulsar
+from repro import (
+    CompositeSource,
+    DMTrialGrid,
+    NoiseSource,
+    ObservationSetup,
+    PulsarSource,
+    RandomStreams,
+    SyntheticPulsar,
+)
+from repro.astro.dispersion import max_delay_samples
 from repro.astro.filterbank import read_filterbank, write_filterbank
 from repro.astro.quantization import (
     ai_bound_with_input_bytes,
     quantize,
     snr_efficiency,
 )
-from repro.astro.signal_gen import generate_observation
 from repro.astro.snr import detect_dm
 from repro.baselines.cpu_reference import dedisperse_vectorized
 from repro.experiments.ablation import run_ablation_quantization
@@ -40,13 +48,12 @@ def main() -> int:
         samples_per_batch=1000,
     )
     grid = DMTrialGrid(16, step=1.0)
-    data = generate_observation(
-        setup,
-        1.0,
-        pulsars=[SyntheticPulsar(0.25, dm=9.0, amplitude=1.5)],
-        max_dm=grid.last,
-        rng=np.random.default_rng(11),
-    )
+    source = CompositeSource((
+        NoiseSource(sigma=1.0),
+        PulsarSource(SyntheticPulsar(0.25, dm=9.0, amplitude=1.5)),
+    ))
+    n_samples = setup.samples_per_second + max_delay_samples(setup, grid.last)
+    data, _truth = source.generate(setup, n_samples, RandomStreams(11))
 
     # Digitise and measure what the 8-bit representation costs.
     q = quantize(data, nbits=8)

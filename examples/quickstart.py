@@ -12,17 +12,19 @@ Run with::
     python examples/quickstart.py
 """
 
-import numpy as np
-
 from repro import (
+    CompositeSource,
     DMTrialGrid,
+    NoiseSource,
     ObservationSetup,
+    PulsarSource,
+    RandomStreams,
     SyntheticPulsar,
     dedisperse,
     detect_dm,
-    generate_observation,
     hd7970,
 )
+from repro.astro.dispersion import max_delay_samples
 
 
 def main() -> int:
@@ -40,15 +42,14 @@ def main() -> int:
     print(f"setup : {setup.describe()}")
     print(f"search: {grid.n_dms} trial DMs, 0 to {grid.last} pc/cm^3")
 
-    # 2. One second of noisy data hosting a pulsar at DM 7.5.
+    # 2. One second of noisy data hosting a pulsar at DM 7.5, via the
+    #    unified seeded SignalSource API (the truth half is what the
+    #    repro.scenarios regression matrix scores against).
     pulsar = SyntheticPulsar(period_seconds=0.1, dm=7.5, amplitude=1.0)
-    data = generate_observation(
-        setup,
-        duration_seconds=1.0,
-        pulsars=[pulsar],
-        max_dm=grid.last,
-        rng=np.random.default_rng(42),
-    )
+    source = CompositeSource((NoiseSource(sigma=1.0), PulsarSource(pulsar)))
+    n_samples = setup.samples_per_second + max_delay_samples(setup, grid.last)
+    data, truth = source.generate(setup, n_samples, RandomStreams(42))
+    print(f"truth : {[c.as_dict() for c in truth.components]}")
     print(f"input : {data.shape[0]} channels x {data.shape[1]} samples")
 
     # 3 + 4. Auto-tune for the paper's best device and run the search.

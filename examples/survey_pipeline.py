@@ -12,8 +12,15 @@ Run with::
     python examples/survey_pipeline.py
 """
 
-from repro import DMTrialGrid, ObservationSetup, SyntheticPulsar, hd7970
-from repro.astro.rfi import inject_narrowband_rfi
+from repro import (
+    DMTrialGrid,
+    NarrowbandRFISource,
+    ObservationSetup,
+    RandomStreams,
+    SyntheticPulsar,
+    derive_seed,
+    hd7970,
+)
 from repro.astro.telescope import Telescope
 from repro.pipeline.survey import SurveyPipeline
 
@@ -42,13 +49,18 @@ def main() -> int:
     telescope.add_beam(label="B3 rfi only")
     telescope.add_beam(label="B4 empty")
 
-    # Contaminate B3's stream with a persistent narrowband carrier.
+    # Contaminate B3's stream with narrowband carriers via the seeded
+    # SignalSource API: one source, one derived stream per chunk.
     original_stream = telescope.stream
+    carriers = NarrowbandRFISource(n_channels=2, amplitude=6.0)
 
     def stream_with_rfi(beam, n_chunks, grid, chunk_seconds=1.0):
         for chunk in original_stream(beam, n_chunks, grid, chunk_seconds):
             if beam.label.startswith("B3"):
-                inject_narrowband_rfi(chunk.data, [4, 21], amplitude=6.0)
+                streams = RandomStreams(
+                    derive_seed(20, "b3-rfi", chunk.sequence)
+                )
+                carriers.add_to(chunk.data, setup, streams)
             yield chunk
 
     telescope.stream = stream_with_rfi

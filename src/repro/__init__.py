@@ -8,14 +8,17 @@ of the paper's evaluation.
 
 Quickstart::
 
-    from repro import apertif, DMTrialGrid, dedisperse, generate_observation
-    from repro import SyntheticPulsar
+    from repro import (apertif, CompositeSource, DMTrialGrid, NoiseSource,
+                       PulsarSource, RandomStreams, SyntheticPulsar,
+                       dedisperse)
 
     setup = apertif(samples_per_batch=2000)
     grid = DMTrialGrid(n_dms=64)
-    data = generate_observation(setup, 0.1,
-                                pulsars=[SyntheticPulsar(0.02, dm=8.0)],
-                                max_dm=grid.last)
+    source = CompositeSource((
+        NoiseSource(),
+        PulsarSource(SyntheticPulsar(0.02, dm=8.0)),
+    ))
+    data, truth = source.generate(setup, 2000, RandomStreams(42))
     output, plan = dedisperse(data, setup, grid)
 
 ``__all__`` below is the curated public surface (the blessed entry
@@ -61,6 +64,15 @@ from repro.astro import (
     build_ddplan,
     search_periodicity,
     zero_dm_filter,
+    SignalSource,
+    SignalTruth,
+    NoiseSource,
+    PulsarSource,
+    BurstSource,
+    BurstTrainSource,
+    BroadbandRFISource,
+    NarrowbandRFISource,
+    CompositeSource,
 )
 from repro.hardware import (
     DeviceSpec,
@@ -139,6 +151,14 @@ from repro.search import (
     search_stream,
     sift_candidates,
 )
+from repro.scenarios import (
+    GroundTruth,
+    MatrixReport,
+    Scenario,
+    run_matrix,
+    scenario_by_name,
+    scenario_catalog,
+)
 from repro.utils import RandomStreams, derive_seed
 
 __version__ = "1.1.0"
@@ -176,6 +196,23 @@ __all__ = [
     "build_ddplan",
     "search_periodicity",
     "zero_dm_filter",
+    # unified signal-source API
+    "SignalSource",
+    "SignalTruth",
+    "NoiseSource",
+    "PulsarSource",
+    "BurstSource",
+    "BurstTrainSource",
+    "BroadbandRFISource",
+    "NarrowbandRFISource",
+    "CompositeSource",
+    # scenario catalogue + golden regression harness
+    "Scenario",
+    "GroundTruth",
+    "scenario_catalog",
+    "scenario_by_name",
+    "run_matrix",
+    "MatrixReport",
     # hardware catalogue + simulator
     "DeviceSpec",
     "hd7970",

@@ -22,6 +22,19 @@ from repro.astro.pulse import (
     scattered_profile,
 )
 from repro.astro.signal_gen import SyntheticPulsar, generate_observation, inject_pulse
+from repro.astro.source import (
+    BroadbandRFISource,
+    BurstSource,
+    BurstTrainSource,
+    CompositeSource,
+    NarrowbandRFISource,
+    NoiseSource,
+    PulsarSource,
+    SignalComponent,
+    SignalSource,
+    SignalTruth,
+    stream_chunks,
+)
 from repro.astro.snr import boxcar_snr, best_boxcar_snr, detect_dm, folded_profile
 from repro.astro.telescope import Beam, Telescope, StreamChunk
 from repro.astro.ddplan import (
@@ -92,6 +105,17 @@ __all__ = [
     "SyntheticPulsar",
     "generate_observation",
     "inject_pulse",
+    "SignalSource",
+    "SignalTruth",
+    "SignalComponent",
+    "NoiseSource",
+    "PulsarSource",
+    "BurstSource",
+    "BurstTrainSource",
+    "BroadbandRFISource",
+    "NarrowbandRFISource",
+    "CompositeSource",
+    "stream_chunks",
     "boxcar_snr",
     "best_boxcar_snr",
     "detect_dm",

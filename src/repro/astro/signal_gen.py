@@ -18,6 +18,7 @@ from repro.astro.dispersion import delay_table, dispersion_smearing_seconds
 from repro.astro.observation import ObservationSetup
 from repro.astro.pulse import PulseProfile, gaussian_profile
 from repro.errors import ValidationError
+from repro.utils.deprecation import warn_once
 from repro.utils.validation import require_non_negative, require_positive
 
 
@@ -48,6 +49,26 @@ class SyntheticPulsar:
 
 
 def inject_pulse(
+    data: np.ndarray,
+    setup: ObservationSetup,
+    pulsar: SyntheticPulsar,
+    smear: bool = True,
+) -> np.ndarray:
+    """Deprecated: use :class:`repro.astro.source.PulsarSource` instead.
+
+    Behaviour is unchanged (delegates to the same injection physics the
+    source wraps); the first call warns once per process.
+    """
+    warn_once(
+        "inject_pulse",
+        "inject_pulse() is deprecated; use the unified SignalSource API "
+        "instead, e.g. PulsarSource(pulsar).add_to(data, setup, streams) "
+        "(repro.astro.source)",
+    )
+    return _inject_pulse(data, setup, pulsar, smear=smear)
+
+
+def _inject_pulse(
     data: np.ndarray,
     setup: ObservationSetup,
     pulsar: SyntheticPulsar,
@@ -103,6 +124,41 @@ def generate_observation(
     rng: np.random.Generator | None = None,
     smear: bool = True,
 ) -> np.ndarray:
+    """Deprecated: compose :class:`repro.astro.source.SignalSource` objects.
+
+    Behaviour is unchanged, byte for byte; the first call warns once per
+    process and points at the seeded replacement::
+
+        CompositeSource((NoiseSource(sigma), PulsarSource(pulsar)))
+            .generate(setup, n_samples, streams)
+    """
+    warn_once(
+        "generate_observation",
+        "generate_observation() is deprecated; compose seeded SignalSource "
+        "objects instead, e.g. CompositeSource((NoiseSource(sigma), "
+        "PulsarSource(pulsar))).generate(setup, n_samples, streams) "
+        "(repro.astro.source)",
+    )
+    return _generate_observation(
+        setup,
+        duration_seconds,
+        pulsars=pulsars,
+        noise_sigma=noise_sigma,
+        max_dm=max_dm,
+        rng=rng,
+        smear=smear,
+    )
+
+
+def _generate_observation(
+    setup: ObservationSetup,
+    duration_seconds: float,
+    pulsars: tuple[SyntheticPulsar, ...] | list[SyntheticPulsar] = (),
+    noise_sigma: float = 1.0,
+    max_dm: float | None = None,
+    rng: np.random.Generator | None = None,
+    smear: bool = True,
+) -> np.ndarray:
     """Produce a channelised time-series of shape ``(channels, t)``.
 
     ``t`` covers ``duration_seconds`` plus, when ``max_dm`` is given, the
@@ -128,5 +184,5 @@ def generate_observation(
     else:
         data = np.zeros((setup.channels, samples), dtype=np.float32)
     for pulsar in pulsars:
-        inject_pulse(data, setup, pulsar, smear=smear)
+        _inject_pulse(data, setup, pulsar, smear=smear)
     return data

@@ -17,7 +17,7 @@ import numpy as np
 from repro.astro.dispersion import max_delay_samples
 from repro.astro.dm_trials import DMTrialGrid
 from repro.astro.observation import ObservationSetup
-from repro.astro.signal_gen import SyntheticPulsar, generate_observation
+from repro.astro.signal_gen import SyntheticPulsar, _generate_observation
 from repro.errors import ValidationError
 from repro.utils.validation import require_positive_int
 
@@ -103,7 +103,7 @@ class Telescope:
         overlap = self.overlap_samples(grid)
         rng = np.random.default_rng(self.seed + beam.index)
         total_seconds = n_chunks * chunk_seconds
-        data = generate_observation(
+        data = _generate_observation(
             self.setup,
             total_seconds,
             pulsars=beam.pulsars,

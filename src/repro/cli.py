@@ -585,12 +585,13 @@ def _cmd_survey(args: argparse.Namespace) -> int:
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
-    import numpy as np
-
+    from repro.astro.dispersion import max_delay_samples
     from repro.astro.observation import ObservationSetup
-    from repro.astro.signal_gen import SyntheticPulsar, generate_observation
+    from repro.astro.signal_gen import SyntheticPulsar
     from repro.astro.snr import detect_dm
+    from repro.astro.source import CompositeSource, NoiseSource, PulsarSource
     from repro.core.dedisperse import dedisperse
+    from repro.utils.rng import RandomStreams
 
     # A laptop-scale, low-frequency setup: LOFAR-like dispersion (strong
     # per-trial discrimination) with few channels and samples so the
@@ -608,12 +609,10 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     pulsar = SyntheticPulsar(
         period_seconds=0.1, dm=float(true_dm), amplitude=1.2
     )
-    data = generate_observation(
-        setup,
-        1.0,
-        pulsars=[pulsar],
-        max_dm=grid.last,
-        rng=np.random.default_rng(args.seed),
+    source = CompositeSource((NoiseSource(sigma=1.0), PulsarSource(pulsar)))
+    n_samples = setup.samples_per_second + max_delay_samples(setup, grid.last)
+    data, _truth = source.generate(
+        setup, n_samples, RandomStreams(args.seed)
     )
     device = device_by_name(args.device)
     output, plan = dedisperse(data, setup, grid, device=device)
@@ -627,6 +626,62 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     ok = abs(detection.dm - true_dm) <= grid.step
     print("detection:", "CORRECT" if ok else "WRONG")
     return 0 if ok else 1
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.scenarios import (
+        SCENARIO_SETUPS,
+        run_matrix,
+        scenario_by_name,
+        scenario_catalog,
+        setup_by_key,
+    )
+
+    if args.action == "list":
+        for scenario in scenario_catalog():
+            marker = "empty " if scenario.expect_empty else "signal"
+            print(f"  {scenario.name:22s} [{marker}] {scenario.description}")
+        print(f"setups: {', '.join(s.key for s in SCENARIO_SETUPS)}")
+        return 0
+
+    scenarios = None
+    if args.scenario:
+        scenarios = tuple(
+            scenario_by_name(name) for name in args.scenario
+        )
+    setups = None
+    if args.setups:
+        setups = tuple(setup_by_key(key) for key in args.setups)
+    backends = (
+        ("tiled", "vectorized")
+        if args.backend == "both"
+        else (args.backend,)
+    )
+    mode = {"run": "run", "record": "record", "check": "check"}[args.action]
+    report = run_matrix(
+        scenarios=scenarios,
+        setups=setups,
+        backends=backends,
+        seed=args.seed,
+        goldens_dir=args.goldens,
+        mode=mode,
+    )
+    print(report.summary())
+    if mode == "record":
+        print(f"goldens recorded under {report.goldens_dir}")
+    if args.bench:
+        from pathlib import Path
+
+        path = Path(args.bench)
+        path.write_text(
+            json.dumps(report.bench_document(), indent=1, sort_keys=True)
+            + "\n"
+        )
+        print(f"wrote {path}")
+    _persist_obs(quiet=True)
+    return 0 if report.passed else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -880,6 +935,49 @@ def build_parser() -> argparse.ArgumentParser:
     survey.add_argument("--chunks", type=int, default=2)
     survey.add_argument("--seed", type=int, default=0)
     survey.set_defaults(func=_cmd_survey)
+
+    scen = sub.add_parser(
+        "scenarios",
+        help="seeded end-to-end scenarios with golden regression checks",
+    )
+    scen.add_argument(
+        "action",
+        choices=("list", "run", "record", "check"),
+        help="list the catalogue, run the matrix, record or check goldens",
+    )
+    scen.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="restrict to one scenario (repeatable; default: all)",
+    )
+    scen.add_argument(
+        "--setups",
+        nargs="+",
+        default=None,
+        metavar="KEY",
+        help="restrict to setup columns (default: all)",
+    )
+    scen.add_argument(
+        "--backend",
+        choices=("tiled", "vectorized", "both"),
+        default="both",
+        help="kernel backend(s); 'both' also asserts bit-identical parity",
+    )
+    scen.add_argument(
+        "--seed", type=int, default=None,
+        help="override the per-scenario seeds",
+    )
+    scen.add_argument(
+        "--goldens", default=None, metavar="DIR",
+        help="goldens directory (default: results/goldens)",
+    )
+    scen.add_argument(
+        "--bench", default=None, metavar="PATH",
+        help="also write the BENCH_scenarios.json document to PATH",
+    )
+    scen.set_defaults(func=_cmd_scenarios)
 
     demo = sub.add_parser("demo", help="end-to-end pulsar detection demo")
     demo.add_argument("--device", default="HD7970")

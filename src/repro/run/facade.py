@@ -75,6 +75,11 @@ class ExecutionRequest:
     ``data`` carries the channelised input: ``(channels, t)`` for kernel
     mode, ``(beams, channels, t)`` for batched/sharded mode, and
     ``None`` for streaming mode (the chunks carry their own payloads).
+    Exactly one *input source* feeds a request: ``data``, ``chunks``, or
+    ``scenario`` — a :class:`~repro.scenarios.catalog.Scenario` (realized
+    against the plan's setup and grid) or an already-realized
+    :class:`~repro.scenarios.catalog.RealizedScenario`, whose chunks are
+    streamed exactly as if they had been passed via ``chunks=``.
     ``out``, when given, must be a float32 array of the output shape —
     the same contract every executor in the stack enforces.  ``backend``
     selects the kernel executor (``"tiled"``/``"vectorized"``/``"auto"``,
@@ -88,6 +93,7 @@ class ExecutionRequest:
     plan: Any = None
     shards: tuple = ()
     chunks: Iterable | None = None
+    scenario: Any = None
     samples: int | None = None
     mode: str = "auto"
     backend: str | None = None
@@ -122,6 +128,25 @@ class ExecutionRequest:
             raise ValidationError("kernel= requires an explicit delay_table=")
         if self.config is not None and self.delay_table is None:
             raise ValidationError("config= requires an explicit delay_table=")
+        if self.scenario is not None:
+            inputs = [
+                name
+                for name, value in (
+                    ("data", self.data),
+                    ("chunks", self.chunks),
+                )
+                if value is not None
+            ]
+            if inputs:
+                raise ValidationError(
+                    f"an ExecutionRequest needs exactly one input source; "
+                    f"scenario= conflicts with {'/'.join(inputs)}="
+                )
+            if self.shards:
+                raise ValidationError(
+                    "scenario= conflicts with shards= (scenarios stream "
+                    "chunks)"
+                )
         if self.shards:
             object.__setattr__(self, "shards", tuple(self.shards))
 
@@ -140,7 +165,7 @@ class ExecutionRequest:
         return self.mode
 
     def _infer_mode(self) -> str:
-        if self.chunks is not None:
+        if self.chunks is not None or self.scenario is not None:
             self._check_mode("streaming")
             return "streaming"
         if self.shards:
@@ -148,8 +173,8 @@ class ExecutionRequest:
             return "sharded"
         if self.data is None:
             raise ValidationError(
-                "an ExecutionRequest needs data= (or chunks= for "
-                "streaming mode)"
+                "an ExecutionRequest needs data= (or chunks= / scenario= "
+                "for streaming mode)"
             )
         ndim = np.asarray(self.data).ndim
         if ndim == 3:
@@ -166,8 +191,10 @@ class ExecutionRequest:
     def _check_mode(self, mode: str) -> None:
         """Raise when the request's contents contradict ``mode``."""
         if mode == "streaming":
-            if self.chunks is None:
-                raise ValidationError("streaming mode requires chunks=")
+            if self.chunks is None and self.scenario is None:
+                raise ValidationError(
+                    "streaming mode requires chunks= or scenario="
+                )
             if self.plan is None:
                 raise ValidationError(
                     "streaming mode requires plan= (a tuned "
@@ -175,7 +202,8 @@ class ExecutionRequest:
                 )
             if self.data is not None:
                 raise ValidationError(
-                    "streaming mode takes its input from chunks=, not data="
+                    "streaming mode takes its input from chunks= or "
+                    "scenario=, not data="
                 )
             if self.out is not None:
                 raise ValidationError(
@@ -184,7 +212,11 @@ class ExecutionRequest:
                 )
             return
         if self.chunks is not None:
-            raise ValidationError(f"chunks= is only valid in streaming mode")
+            raise ValidationError("chunks= is only valid in streaming mode")
+        if self.scenario is not None:
+            raise ValidationError(
+                "scenario= is only valid in streaming mode"
+            )
         if mode == "sharded":
             if not self.shards:
                 raise ValidationError("sharded mode requires shards=")
@@ -225,6 +257,10 @@ class ExecutionResult:
     seconds: float
     launches: int
     chunk_results: tuple = ()
+    #: The :class:`~repro.scenarios.catalog.RealizedScenario` a
+    #: ``scenario=`` request streamed, carrying the ground truth the
+    #: caller scores against; ``None`` for every other input source.
+    scenario: Any = field(default=None, repr=False)
 
     @property
     def n_dms(self) -> int:
@@ -254,7 +290,7 @@ def execute(request: ExecutionRequest) -> ExecutionResult:
     runner = _RUNNERS[mode]
     with span("run.execute", mode=mode, backend=backend):
         start = time.perf_counter()
-        output, launches, chunk_results = runner(request)
+        output, launches, chunk_results, extras = runner(request)
         elapsed = time.perf_counter() - start
     registry = get_registry()
     registry.counter("repro_run_requests_total", mode=mode).inc()
@@ -268,6 +304,7 @@ def execute(request: ExecutionRequest) -> ExecutionResult:
         seconds=elapsed,
         launches=launches,
         chunk_results=chunk_results,
+        **extras,
     )
 
 
@@ -312,7 +349,7 @@ def _run_kernel(request: ExecutionRequest):
     output = kernel._execute(
         request.data, delays, out=request.out, backend=request.backend
     )
-    return output, 1, ()
+    return output, 1, (), {}
 
 
 def _run_batched(request: ExecutionRequest):
@@ -331,7 +368,7 @@ def _run_batched(request: ExecutionRequest):
     output = batched.execute(
         data, delays, out=request.out, backend=request.backend
     )
-    return output, data.shape[0], ()
+    return output, data.shape[0], (), {}
 
 
 def _run_sharded(request: ExecutionRequest):
@@ -345,18 +382,53 @@ def _run_sharded(request: ExecutionRequest):
         out=request.out,
         backend=request.backend,
     )
-    return output, len(request.shards), ()
+    return output, len(request.shards), (), {}
+
+
+def _resolve_scenario(request: ExecutionRequest):
+    """Realize a ``scenario=`` input against the request's plan.
+
+    Accepts a :class:`~repro.scenarios.catalog.Scenario` (realized here
+    against the plan's setup and grid) or an already-realized
+    :class:`~repro.scenarios.catalog.RealizedScenario` (whose setup must
+    match the plan's).  Imported lazily — the facade sits below
+    :mod:`repro.scenarios` in the layering and must not import it at
+    module scope.
+    """
+    from repro.scenarios.catalog import RealizedScenario, Scenario
+
+    scenario = request.scenario
+    if isinstance(scenario, Scenario):
+        return scenario.realize(request.plan.setup, request.plan.grid)
+    if isinstance(scenario, RealizedScenario):
+        if scenario.setup.name != request.plan.setup.name:
+            raise ValidationError(
+                f"scenario was realized for setup "
+                f"{scenario.setup.name!r}, but the plan targets "
+                f"{request.plan.setup.name!r}"
+            )
+        return scenario
+    raise ValidationError(
+        f"scenario= takes a Scenario or RealizedScenario, got "
+        f"{type(scenario).__name__}"
+    )
 
 
 def _run_streaming(request: ExecutionRequest):
     from repro.pipeline.streaming import StreamingDedispersion
 
+    extras: dict = {}
+    chunks = request.chunks
+    if request.scenario is not None:
+        realized = _resolve_scenario(request)
+        extras["scenario"] = realized
+        chunks = realized.chunks
     stream = StreamingDedispersion(request.plan, backend=request.backend)
-    results = tuple(stream.process(chunk) for chunk in request.chunks)
+    results = tuple(stream.process(chunk) for chunk in chunks)
     if not results:
         raise ValidationError("streaming request carried no chunks")
     output = np.concatenate([r.output for r in results], axis=1)
-    return output, len(results), results
+    return output, len(results), results, extras
 
 
 _RUNNERS = {

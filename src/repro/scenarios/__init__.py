@@ -1,0 +1,82 @@
+"""Seeded end-to-end scenarios with machine-checkable ground truth.
+
+The catalogue (:mod:`repro.scenarios.catalog`) composes the unified
+:class:`~repro.astro.source.SignalSource` generators into named,
+reproducible observations — clean pulses, RFI storms, nulling and
+scintillating pulsars, giant-pulse trains, dropped chunks, hostile
+tuning inputs — each paired with a :class:`GroundTruth` describing what
+the pipeline *must* and *must not* find.  The regression harness
+(:mod:`repro.scenarios.regression`) turns the catalogue into a standing
+gate: every (scenario × setup × backend) cell runs the full pipeline,
+is checked bit-identical across kernel backends, compared against
+committed goldens under ``results/goldens/``, and scored for recall and
+false-positive rate into BENCH_scenarios.json.
+"""
+
+from repro.scenarios.catalog import (
+    RealizedScenario,
+    Scenario,
+    scenario_by_name,
+    scenario_catalog,
+)
+from repro.scenarios.goldens import (
+    DEFAULT_ATOL,
+    DEFAULT_GOLDENS_DIR,
+    DEFAULT_RTOL,
+    GOLDEN_SCHEMA_VERSION,
+    compare_documents,
+    golden_path,
+    load_golden,
+    save_golden,
+)
+from repro.scenarios.regression import (
+    DEFAULT_BACKENDS,
+    MATRIX_MODES,
+    SCENARIO_SETUPS,
+    CellResult,
+    MatrixReport,
+    ScenarioSetup,
+    cell_document,
+    run_cell,
+    run_matrix,
+    setup_by_key,
+)
+from repro.scenarios.truth import (
+    FALSE_POSITIVE_CEILING,
+    RECALL_FLOOR,
+    ExpectedCandidate,
+    GroundTruth,
+    ScenarioScore,
+    score_report,
+)
+
+__all__ = [
+    "CellResult",
+    "DEFAULT_ATOL",
+    "DEFAULT_BACKENDS",
+    "DEFAULT_GOLDENS_DIR",
+    "DEFAULT_RTOL",
+    "ExpectedCandidate",
+    "FALSE_POSITIVE_CEILING",
+    "GOLDEN_SCHEMA_VERSION",
+    "GroundTruth",
+    "MATRIX_MODES",
+    "MatrixReport",
+    "RECALL_FLOOR",
+    "RealizedScenario",
+    "SCENARIO_SETUPS",
+    "Scenario",
+    "ScenarioScore",
+    "ScenarioSetup",
+    "cell_document",
+    "compare_documents",
+    "golden_path",
+    "load_golden",
+    "run_cell",
+    "run_matrix",
+    "save_golden",
+    "scenario_by_name",
+    "scenario_catalog",
+    "score_report",
+    "setup_by_key",
+]

@@ -1,0 +1,397 @@
+"""The golden regression harness: scenarios × backends × setups.
+
+Runs every catalogue scenario through the full pipeline — chunk
+generation, :func:`repro.run.execute` dedispersion, matched-filter
+detection, sifting (:class:`~repro.search.stream.StreamingSearch`) — on
+each benchmark setup and kernel backend, then:
+
+* asserts **bit-identical backend parity** per (scenario, setup) cell:
+  the tiled and vectorized executors must produce the same candidates,
+  verdicts and ledger, compared exactly (``rtol=0``);
+* in ``check`` mode, compares each cell against its committed golden
+  under ``results/goldens/`` with the tolerant comparator of
+  :mod:`repro.scenarios.goldens` (riboviz-style: regenerate, diff,
+  fail loudly with the JSONPath of every deviation);
+* in ``record`` mode, (re)writes the goldens;
+* scores recall / false-positive rate per scenario
+  (:func:`repro.scenarios.truth.score_report`) and aggregates everything
+  into the BENCH_scenarios.json document.
+
+Cell documents contain **no wall-clock fields** (no timings, no
+throughputs): they are a pure function of (scenario, setup, seed, code),
+which is what makes committing them to version control meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.astro.dm_trials import DMTrialGrid
+from repro.astro.observation import ObservationSetup
+from repro.core.config import KernelConfiguration
+from repro.errors import ValidationError
+from repro.hardware import device_by_name
+from repro.obs import get_registry, span
+from repro.scenarios.catalog import (
+    RealizedScenario,
+    Scenario,
+    scenario_catalog,
+)
+from repro.scenarios.goldens import (
+    DEFAULT_GOLDENS_DIR,
+    compare_documents,
+    golden_path,
+    load_golden,
+    save_golden,
+)
+from repro.scenarios.truth import ScenarioScore, score_report
+from repro.search.stream import SearchReport, StreamingSearch
+
+#: Kernel backends every cell runs under (parity is asserted pairwise).
+DEFAULT_BACKENDS = ("tiled", "vectorized")
+
+#: Matrix run modes.
+MATRIX_MODES = ("run", "record", "check")
+
+
+@dataclass(frozen=True)
+class ScenarioSetup:
+    """One benchmark column of the matrix: setup + grid + tuned config.
+
+    Laptop-scale analogues of the paper's two regimes: ``low`` is
+    LOFAR-like (low frequency, strong per-trial dispersion), ``high``
+    Apertif-like (L-band, weak per-trial dispersion, wider DM steps so
+    trials stay distinguishable).  The pinned
+    :class:`~repro.core.config.KernelConfiguration` satisfies the
+    device's meaningful-configuration constraints for both, keeping
+    plan construction cheap and deterministic.
+    """
+
+    key: str
+    setup: ObservationSetup
+    grid: DMTrialGrid
+    config: KernelConfiguration
+    device_name: str = "HD7970"
+
+    def plan(self):
+        """A tuned plan for this column (no auto-tuning sweep)."""
+        from repro.core.plan import DedispersionPlan
+
+        return DedispersionPlan.create(
+            self.setup,
+            self.grid,
+            device_by_name(self.device_name),
+            config=self.config,
+            samples=self.setup.samples_per_batch,
+        )
+
+
+#: The two benchmark columns of the matrix.
+SCENARIO_SETUPS: tuple[ScenarioSetup, ...] = (
+    ScenarioSetup(
+        key="low",
+        setup=ObservationSetup(
+            name="scenario-low",
+            channels=16,
+            lowest_frequency=140.0,
+            channel_bandwidth=0.2,
+            samples_per_second=400,
+            samples_per_batch=400,
+        ),
+        grid=DMTrialGrid(n_dms=12, first=1.0, step=1.0),
+        config=KernelConfiguration(16, 4, 5, 3),
+    ),
+    ScenarioSetup(
+        key="high",
+        setup=ObservationSetup(
+            name="scenario-high",
+            channels=32,
+            lowest_frequency=1420.0,
+            channel_bandwidth=2.0,
+            samples_per_second=480,
+            samples_per_batch=480,
+        ),
+        grid=DMTrialGrid(n_dms=12, first=25.0, step=25.0),
+        config=KernelConfiguration(16, 4, 5, 3),
+    ),
+)
+
+
+def setup_by_key(key: str) -> ScenarioSetup:
+    """Look a benchmark column up by key; raises on unknown keys."""
+    for candidate in SCENARIO_SETUPS:
+        if candidate.key == key:
+            return candidate
+    known = ", ".join(s.key for s in SCENARIO_SETUPS)
+    raise ValidationError(f"unknown setup key {key!r}; known: {known}")
+
+
+# ----------------------------------------------------------------------
+# Cell execution
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CellResult:
+    """One (scenario, setup, backend) execution with its artefacts."""
+
+    scenario: str
+    setup_key: str
+    backend: str
+    report: SearchReport
+    score: ScenarioScore
+    document: dict
+
+
+def _candidate_doc(candidate) -> dict:
+    return {
+        "dm_index": int(candidate.dm_index),
+        "dm": float(candidate.dm),
+        "snr": float(candidate.snr),
+        "time_sample": int(candidate.time_sample),
+        "width": int(candidate.width),
+    }
+
+
+def _cluster_doc(cluster) -> dict:
+    return {
+        "best": _candidate_doc(cluster.best),
+        "n_members": int(cluster.n_members),
+        "dm_extent": float(cluster.dm_extent),
+        "members": [_candidate_doc(m) for m in cluster.members],
+    }
+
+
+def cell_document(
+    realized: RealizedScenario,
+    report: SearchReport,
+    score: ScenarioScore,
+) -> dict:
+    """The deterministic, golden-worthy record of one cell."""
+    return {
+        "scenario": realized.name,
+        "setup": realized.setup.name,
+        "grid": {
+            "n_dms": int(realized.grid.n_dms),
+            "first": float(realized.grid.first),
+            "step": float(realized.grid.step),
+        },
+        "seed": int(realized.seed),
+        "n_chunks": int(realized.n_chunks),
+        "truth": realized.truth.as_dict(),
+        "ledger": report.verdict_payload(),
+        "accepted": [_cluster_doc(c) for c in report.result.accepted],
+        "vetoed": [
+            {"reason": v.reason, "cluster": _cluster_doc(v.cluster)}
+            for v in report.result.vetoed
+        ],
+        "score": score.as_dict(),
+    }
+
+
+def run_cell(
+    scenario: Scenario,
+    column: ScenarioSetup,
+    backend: str,
+    seed: int | None = None,
+    plan=None,
+) -> CellResult:
+    """Execute one (scenario, setup, backend) cell end to end."""
+    realized = scenario.realize(column.setup, column.grid, seed=seed)
+    if plan is None:
+        plan = column.plan()
+    labels = {
+        "scenario": scenario.name,
+        "setup": column.key,
+        "backend": backend,
+    }
+    with span("scenario.cell", **labels):
+        report = StreamingSearch(
+            plan, realized.search_config, backend=backend
+        ).run(iter(realized.chunks))
+    score = score_report(scenario.name, realized.truth, report)
+    registry = get_registry()
+    registry.counter(
+        "repro_scenario_cells_total",
+        outcome="passed" if score.passed else "failed",
+        **labels,
+    ).inc()
+    registry.histogram(
+        "repro_scenario_recall_ratio",
+        scenario=scenario.name,
+        setup=column.key,
+    ).observe(score.recall)
+    registry.histogram(
+        "repro_scenario_false_positive_ratio",
+        scenario=scenario.name,
+        setup=column.key,
+    ).observe(score.false_positive_rate)
+    return CellResult(
+        scenario=scenario.name,
+        setup_key=column.key,
+        backend=backend,
+        report=report,
+        score=score,
+        document=cell_document(realized, report, score),
+    )
+
+
+# ----------------------------------------------------------------------
+# The matrix
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MatrixReport:
+    """Everything one matrix run produced, with the acceptance verdicts."""
+
+    mode: str
+    cells: tuple[CellResult, ...]
+    parity_failures: tuple[str, ...]
+    golden_diffs: tuple[str, ...]
+    goldens_dir: str
+
+    @property
+    def scores(self) -> tuple[ScenarioScore, ...]:
+        """One score per (scenario, setup) cell (backends are identical)."""
+        return tuple(
+            c.score for c in self.cells if c.backend == self.cells[0].backend
+        )
+
+    @property
+    def cells_failed(self) -> tuple[CellResult, ...]:
+        return tuple(c for c in self.cells if not c.score.passed)
+
+    @property
+    def passed(self) -> bool:
+        """The standing gate: scores, parity and (in check mode) goldens."""
+        return (
+            not self.cells_failed
+            and not self.parity_failures
+            and not self.golden_diffs
+        )
+
+    def summary(self) -> str:
+        """Multi-line, human-readable matrix report."""
+        n_scenarios = len({c.scenario for c in self.cells})
+        n_setups = len({c.setup_key for c in self.cells})
+        n_backends = len({c.backend for c in self.cells})
+        lines = [
+            f"scenario matrix ({self.mode}): {n_scenarios} scenarios x "
+            f"{n_setups} setups x {n_backends} backends = "
+            f"{len(self.cells)} cells — "
+            f"{'PASS' if self.passed else 'FAIL'}",
+        ]
+        seen = set()
+        for cell in self.cells:
+            key = (cell.scenario, cell.setup_key)
+            if key in seen:
+                continue
+            seen.add(key)
+            s = cell.score
+            lines.append(
+                f"  {cell.scenario:22s} {cell.setup_key:5s} "
+                f"recall {s.recall:.2f}  fp {s.false_positive_rate:.2f}  "
+                f"accepted {s.n_accepted}  vetoed {s.n_vetoed}  "
+                f"verdict {s.verdict:18s} "
+                f"{'ok' if s.passed else 'FAIL'}"
+            )
+        for failure in self.parity_failures:
+            lines.append(f"  backend parity FAIL: {failure}")
+        for diff in self.golden_diffs[:20]:
+            lines.append(f"  golden diff: {diff}")
+        if len(self.golden_diffs) > 20:
+            lines.append(
+                f"  ... and {len(self.golden_diffs) - 20} more golden diffs"
+            )
+        return "\n".join(lines)
+
+    def bench_document(self) -> dict:
+        """The BENCH_scenarios.json payload."""
+        per_scenario: dict[str, dict] = {}
+        for cell in self.cells:
+            entry = per_scenario.setdefault(
+                cell.scenario, {"setups": {}, "truth_bearing": False}
+            )
+            if cell.setup_key not in entry["setups"]:
+                entry["setups"][cell.setup_key] = cell.score.as_dict()
+            entry["truth_bearing"] = (
+                entry["truth_bearing"] or cell.score.n_expected > 0
+            )
+        return {
+            "bench": "scenarios",
+            "mode": self.mode,
+            "backends": sorted({c.backend for c in self.cells}),
+            "setups": sorted({c.setup_key for c in self.cells}),
+            "n_cells": len(self.cells),
+            "scenarios": per_scenario,
+            "parity_failures": list(self.parity_failures),
+            "golden_diffs": list(self.golden_diffs),
+            "passed": self.passed,
+        }
+
+
+def run_matrix(
+    scenarios: tuple[Scenario, ...] | None = None,
+    setups: tuple[ScenarioSetup, ...] | None = None,
+    backends: tuple[str, ...] = DEFAULT_BACKENDS,
+    seed: int | None = None,
+    goldens_dir: str | Path | None = None,
+    mode: str = "run",
+) -> MatrixReport:
+    """Run the (scenario × setup × backend) matrix; see module docstring."""
+    if mode not in MATRIX_MODES:
+        raise ValidationError(
+            f"unknown matrix mode {mode!r}; expected one of "
+            f"{', '.join(MATRIX_MODES)}"
+        )
+    if not backends:
+        raise ValidationError("the matrix needs at least one backend")
+    scenarios = tuple(
+        scenario_catalog() if scenarios is None else scenarios
+    )
+    setups = tuple(SCENARIO_SETUPS if setups is None else setups)
+    root = Path(
+        DEFAULT_GOLDENS_DIR if goldens_dir is None else goldens_dir
+    )
+    cells: list[CellResult] = []
+    parity_failures: list[str] = []
+    golden_diffs: list[str] = []
+    with span("scenario.matrix", mode=mode):
+        for column in setups:
+            plan = column.plan()
+            for scenario in scenarios:
+                per_backend = [
+                    run_cell(scenario, column, b, seed=seed, plan=plan)
+                    for b in backends
+                ]
+                cells.extend(per_backend)
+                reference = per_backend[0]
+                for other in per_backend[1:]:
+                    exact = compare_documents(
+                        reference.document,
+                        other.document,
+                        rtol=0.0,
+                        atol=0.0,
+                    )
+                    if exact:
+                        parity_failures.append(
+                            f"{scenario.name}/{column.key}: "
+                            f"{reference.backend} vs {other.backend}: "
+                            f"{exact[0]}"
+                        )
+                path = golden_path(root, column.key, scenario.name)
+                if mode == "record":
+                    save_golden(reference.document, path)
+                elif mode == "check":
+                    golden = load_golden(path)
+                    for diff in compare_documents(
+                        golden, reference.document
+                    ):
+                        golden_diffs.append(
+                            f"{scenario.name}/{column.key}: {diff}"
+                        )
+    return MatrixReport(
+        mode=mode,
+        cells=tuple(cells),
+        parity_failures=tuple(parity_failures),
+        golden_diffs=tuple(golden_diffs),
+        goldens_dir=str(root),
+    )

@@ -1,0 +1,230 @@
+"""Machine-checkable ground truth and scoring for scenario runs.
+
+A :class:`GroundTruth` states, for one realized scenario, what the
+pipeline *must* find (expected candidates at known DM trials and event
+times), must *not* find (``expect_empty``), which real-time verdict the
+stream must end in, and which input-stream faults (missing / duplicated
+chunk sequences) the drop accounting must surface.
+
+:func:`score_report` turns a :class:`~repro.search.stream.SearchReport`
+plus its truth into a :class:`ScenarioScore` with the two headline
+numbers of the acceptance gate — recall and false-positive rate — and
+the boolean side-conditions (verdict, emptiness, fault accounting).
+
+Matching policy
+---------------
+A bright dispersed pulse is detected across a *cone* of neighbouring DM
+trials (DM-mismatch smearing halves, it does not annihilate), and the
+per-trial noise estimate is itself inflated by the signal at the true
+trial, so the strongest member of a sifted cluster is not reliably the
+true trial.  The harness therefore matches on **membership**: an
+expected candidate is recovered when some accepted cluster contains a
+member within ``trial_tolerance`` trials of the expected trial at
+``min_snr`` or better.  Conversely an accepted cluster is a *false
+positive* only when it matches no expected candidate by that rule **and**
+its peak time lies outside ``time_tolerance`` samples of every true
+event time — i.e. it is attributable to nothing that was injected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ValidationError
+from repro.search.stream import SearchReport
+
+#: The acceptance gate on truth-bearing scenarios (ISSUE 7): at least
+#: this fraction of expected candidates must be recovered ...
+RECALL_FLOOR = 0.9
+#: ... and at most this fraction of accepted clusters may be
+#: unattributable to any injected component.
+FALSE_POSITIVE_CEILING = 0.05
+
+
+@dataclass(frozen=True)
+class ExpectedCandidate:
+    """One signal the search must recover.
+
+    ``trial`` is the index of the true DM on the scenario's trial grid;
+    ``time_samples`` the reference-frame sample positions of the emitted
+    events (used only for false-positive attribution, not for recall).
+    """
+
+    dm: float
+    trial: int
+    time_samples: tuple[int, ...] = ()
+    trial_tolerance: int = 2
+    time_tolerance: int = 64
+    min_snr: float = 6.0
+
+    def __post_init__(self) -> None:
+        if self.trial < 0:
+            raise ValidationError("expected trial index must be non-negative")
+        if self.trial_tolerance < 0 or self.time_tolerance < 0:
+            raise ValidationError("tolerances must be non-negative")
+
+    def matches_cluster(self, cluster) -> bool:
+        """Membership rule: any member near the true trial at min_snr."""
+        return any(
+            abs(member.dm_index - self.trial) <= self.trial_tolerance
+            and member.snr >= self.min_snr
+            for member in cluster.members
+        )
+
+    def attributable(self, cluster) -> bool:
+        """Time rule: the cluster peaks near one of this signal's events."""
+        best = cluster.best
+        return any(
+            abs(best.time_sample - t) <= self.time_tolerance
+            for t in self.time_samples
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation."""
+        return {
+            "dm": float(self.dm),
+            "trial": int(self.trial),
+            "time_samples": [int(t) for t in self.time_samples],
+            "trial_tolerance": int(self.trial_tolerance),
+            "time_tolerance": int(self.time_tolerance),
+            "min_snr": float(self.min_snr),
+        }
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """Everything a scenario run is scored against."""
+
+    expected: tuple[ExpectedCandidate, ...] = ()
+    expect_empty: bool = False
+    expected_verdict: str | None = None
+    missing_sequences: tuple[int, ...] = ()
+    duplicate_sequences: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.expect_empty and self.expected:
+            raise ValidationError(
+                "expect_empty conflicts with expected candidates"
+            )
+        object.__setattr__(self, "expected", tuple(self.expected))
+
+    @property
+    def truth_bearing(self) -> bool:
+        """Whether the scenario injects something the search must find."""
+        return bool(self.expected)
+
+    def with_faults(
+        self,
+        missing: tuple[int, ...],
+        duplicates: tuple[int, ...],
+    ) -> "GroundTruth":
+        """A copy carrying the realized input-stream fault sequences."""
+        return replace(
+            self,
+            missing_sequences=tuple(missing),
+            duplicate_sequences=tuple(duplicates),
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation."""
+        return {
+            "expected": [e.as_dict() for e in self.expected],
+            "expect_empty": self.expect_empty,
+            "expected_verdict": self.expected_verdict,
+            "missing_sequences": [int(s) for s in self.missing_sequences],
+            "duplicate_sequences": [
+                int(s) for s in self.duplicate_sequences
+            ],
+        }
+
+
+@dataclass(frozen=True)
+class ScenarioScore:
+    """The scored outcome of one (scenario, setup, backend) cell."""
+
+    scenario: str
+    recall: float
+    false_positive_rate: float
+    n_expected: int
+    n_matched: int
+    n_accepted: int
+    n_false_positive: int
+    n_vetoed: int
+    empty_ok: bool
+    verdict_ok: bool
+    faults_ok: bool
+    verdict: str
+
+    @property
+    def passed(self) -> bool:
+        """Whether the cell clears every acceptance threshold."""
+        return (
+            self.recall >= RECALL_FLOOR
+            and self.false_positive_rate <= FALSE_POSITIVE_CEILING
+            and self.empty_ok
+            and self.verdict_ok
+            and self.faults_ok
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation."""
+        return {
+            "scenario": self.scenario,
+            "recall": float(self.recall),
+            "false_positive_rate": float(self.false_positive_rate),
+            "n_expected": int(self.n_expected),
+            "n_matched": int(self.n_matched),
+            "n_accepted": int(self.n_accepted),
+            "n_false_positive": int(self.n_false_positive),
+            "n_vetoed": int(self.n_vetoed),
+            "empty_ok": self.empty_ok,
+            "verdict_ok": self.verdict_ok,
+            "faults_ok": self.faults_ok,
+            "verdict": self.verdict,
+            "passed": self.passed,
+        }
+
+
+def score_report(
+    scenario: str, truth: GroundTruth, report: SearchReport
+) -> ScenarioScore:
+    """Score one search run against its ground truth."""
+    accepted = report.result.accepted
+    matched = sum(
+        1
+        for expected in truth.expected
+        if any(expected.matches_cluster(c) for c in accepted)
+    )
+    false_positives = sum(
+        1
+        for cluster in accepted
+        if not any(
+            e.matches_cluster(cluster) or e.attributable(cluster)
+            for e in truth.expected
+        )
+    )
+    recall = matched / len(truth.expected) if truth.expected else 1.0
+    fp_rate = false_positives / len(accepted) if accepted else 0.0
+    empty_ok = not truth.expect_empty or not accepted
+    verdict_ok = (
+        truth.expected_verdict is None
+        or report.verdict == truth.expected_verdict
+    )
+    faults_ok = (
+        report.missing_sequences == truth.missing_sequences
+        and report.duplicate_sequences == truth.duplicate_sequences
+    )
+    return ScenarioScore(
+        scenario=scenario,
+        recall=recall,
+        false_positive_rate=fp_rate,
+        n_expected=len(truth.expected),
+        n_matched=matched,
+        n_accepted=len(accepted),
+        n_false_positive=false_positives,
+        n_vetoed=len(report.result.vetoed),
+        empty_ok=empty_ok,
+        verdict_ok=verdict_ok,
+        faults_ok=faults_ok,
+        verdict=report.verdict,
+    )

@@ -116,6 +116,11 @@ class SearchReport:
     records: tuple[ChunkRecord, ...]
     result: SiftResult
     backend: str
+    #: Sequence numbers that never arrived (holes in the delivered
+    #: sequence range — an upstream link lost them before the queue).
+    missing_sequences: tuple[int, ...] = ()
+    #: Sequence numbers delivered more than once (retransmits).
+    duplicate_sequences: tuple[int, ...] = ()
 
     @property
     def chunks_processed(self) -> int:
@@ -124,6 +129,11 @@ class SearchReport:
     @property
     def chunks_dropped(self) -> int:
         return sum(1 for r in self.records if r.dropped)
+
+    @property
+    def dropped_sequences(self) -> tuple[int, ...]:
+        """Sequences shed by queue backpressure, arrival order."""
+        return tuple(r.sequence for r in self.records if r.dropped)
 
     @property
     def candidates(self) -> tuple:
@@ -161,6 +171,34 @@ class SearchReport:
             return "realtime_sustained"
         return "complete"
 
+    def verdict_payload(self) -> dict:
+        """Per-chunk drop accounting, machine-readable.
+
+        The aggregated counts were always in the report; this payload
+        breaks them down so consumers (the scenario regression harness,
+        notably) can assert on *which* chunks were shed by backpressure,
+        which sequences never arrived, and which were delivered twice.
+        Everything here is deterministic — no wall-clock fields.
+        """
+        return {
+            "verdict": self.verdict,
+            "chunks_processed": self.chunks_processed,
+            "chunks_dropped": self.chunks_dropped,
+            "dropped_sequences": [int(s) for s in self.dropped_sequences],
+            "missing_sequences": [int(s) for s in self.missing_sequences],
+            "duplicate_sequences": [
+                int(s) for s in self.duplicate_sequences
+            ],
+            "per_chunk": [
+                {
+                    "sequence": int(r.sequence),
+                    "dropped": r.dropped,
+                    "n_raw": int(r.n_raw),
+                }
+                for r in self.records
+            ],
+        }
+
     def summary(self) -> str:
         """Multi-line, human-readable report."""
         lines = [
@@ -174,6 +212,12 @@ class SearchReport:
             f"{len(self.result.vetoed)} vetoed "
             f"({self.result.n_raw} raw detections)",
         ]
+        if self.missing_sequences or self.duplicate_sequences:
+            lines.append(
+                f"  stream faults: missing sequences "
+                f"{list(self.missing_sequences)}, duplicated "
+                f"{list(self.duplicate_sequences)}"
+            )
         for cluster in self.result.accepted[:5]:
             best = cluster.best
             lines.append(
@@ -242,10 +286,14 @@ class StreamingSearch:
         busy_until = 0.0
         finish_times: list[float] = []
         resolved_backend = "auto"
+        seen_sequences: dict[int, int] = {}
 
         with span("search.run", **labels) as run_span:
             for index, chunk in enumerate(chunks):
                 arrival = index * self.chunk_seconds
+                seen_sequences[chunk.sequence] = (
+                    seen_sequences.get(chunk.sequence, 0) + 1
+                )
                 # Bounded queue: chunks admitted but unfinished at this
                 # arrival are queued or in service; one of them occupies
                 # the worker, the rest the queue.
@@ -326,6 +374,31 @@ class StreamingSearch:
             if not records:
                 raise PipelineError("search stream carried no chunks")
 
+            # Input-stream fault accounting: a hole in the delivered
+            # sequence range means an upstream link lost that chunk
+            # before it ever reached the queue (distinct from the
+            # backpressure drops recorded above); a sequence delivered
+            # more than once is a retransmit.
+            missing = tuple(
+                s
+                for s in range(min(seen_sequences), max(seen_sequences) + 1)
+                if s not in seen_sequences
+            )
+            duplicates = tuple(
+                s for s in sorted(seen_sequences)
+                if seen_sequences[s] > 1
+            )
+            if missing:
+                registry.counter(
+                    "repro_search_chunks_total", outcome="missing", **labels
+                ).inc(len(missing))
+            if duplicates:
+                registry.counter(
+                    "repro_search_chunks_total",
+                    outcome="duplicate",
+                    **labels,
+                ).inc(len(duplicates))
+
             with span("search.sift", **labels):
                 sifted = sift_candidates(
                     raw, self.plan.grid.values, self.config.sift_policy
@@ -347,9 +420,13 @@ class StreamingSearch:
                 records=tuple(records),
                 result=sifted,
                 backend=resolved_backend,
+                missing_sequences=missing,
+                duplicate_sequences=duplicates,
             )
             run_span.attributes["verdict"] = report.verdict
             run_span.attributes["dropped"] = report.chunks_dropped
+            run_span.attributes["missing"] = len(missing)
+            run_span.attributes["duplicates"] = len(duplicates)
         return report
 
     # ------------------------------------------------------------------

@@ -296,3 +296,83 @@ class TestStreamingMode:
     def test_empty_stream_rejected(self, plan):
         with pytest.raises(ValidationError, match="no chunks"):
             execute(ExecutionRequest(plan=plan, chunks=()))
+
+
+class TestScenarioInput:
+    def test_scenario_conflicts_with_chunks(self, plan):
+        from repro.scenarios import scenario_by_name
+
+        scenario = scenario_by_name("noise_floor")
+        with pytest.raises(ValidationError, match="scenario="):
+            ExecutionRequest(plan=plan, chunks=(), scenario=scenario)
+
+    def test_scenario_conflicts_with_data(self, plan, data):
+        from repro.scenarios import scenario_by_name
+
+        scenario = scenario_by_name("noise_floor")
+        with pytest.raises(ValidationError, match="scenario="):
+            ExecutionRequest(plan=plan, data=data, scenario=scenario)
+
+    def test_scenario_infers_streaming(self, plan):
+        from repro.scenarios import scenario_by_name
+
+        request = ExecutionRequest(
+            plan=plan, scenario=scenario_by_name("noise_floor")
+        )
+        assert request.resolve_mode() == "streaming"
+
+    def test_scenario_rejected_outside_streaming(self, plan):
+        from repro.scenarios import scenario_by_name
+
+        request = ExecutionRequest(
+            plan=plan,
+            scenario=scenario_by_name("noise_floor"),
+            mode="kernel",
+        )
+        with pytest.raises(ValidationError, match="streaming"):
+            request.resolve_mode()
+
+    def test_executes_realized_stream(self, plan, toy_grid):
+        from repro.scenarios import scenario_by_name
+
+        scenario = scenario_by_name("noise_floor")
+        result = execute(ExecutionRequest(plan=plan, scenario=scenario))
+        assert result.mode == "streaming"
+        realized = result.scenario
+        assert realized is not None
+        assert realized.name == "noise_floor"
+        assert result.launches == len(realized.chunks)
+        assert result.output.shape == (
+            toy_grid.n_dms, result.launches * plan.samples
+        )
+
+    def test_accepts_pre_realized_scenario(self, plan, toy_low, toy_grid):
+        from repro.scenarios import scenario_by_name
+
+        realized = scenario_by_name("noise_floor").realize(toy_low, toy_grid)
+        result = execute(ExecutionRequest(plan=plan, scenario=realized))
+        assert result.scenario is realized
+
+    def test_realized_setup_must_match_plan(self, plan, toy_grid):
+        import dataclasses
+
+        from repro.scenarios import scenario_by_name
+
+        other = dataclasses.replace(
+            plan.setup, name="somewhere-else"
+        )
+        realized = scenario_by_name("noise_floor").realize(other, toy_grid)
+        with pytest.raises(ValidationError, match="setup"):
+            execute(ExecutionRequest(plan=plan, scenario=realized))
+
+    def test_rejects_arbitrary_scenario_object(self, plan):
+        with pytest.raises(ValidationError):
+            execute(ExecutionRequest(plan=plan, scenario="clean_pulse"))
+
+    def test_deterministic_output(self, plan):
+        from repro.scenarios import scenario_by_name
+
+        scenario = scenario_by_name("clean_pulse")
+        a = execute(ExecutionRequest(plan=plan, scenario=scenario))
+        b = execute(ExecutionRequest(plan=plan, scenario=scenario))
+        np.testing.assert_array_equal(a.output, b.output)

@@ -1,0 +1,102 @@
+"""Golden storage, schema versioning, and the tolerant comparator."""
+
+import json
+
+import pytest
+
+from repro.errors import SchemaVersionError, ValidationError
+from repro.scenarios.goldens import (
+    GOLDEN_SCHEMA_VERSION,
+    compare_documents,
+    golden_path,
+    load_golden,
+    save_golden,
+)
+
+
+class TestStorage:
+    def test_round_trip(self, tmp_path):
+        doc = {"b": 2, "a": [1.5, True, "x"]}
+        path = save_golden(doc, tmp_path / "low" / "clean.json")
+        assert load_golden(path) == doc
+
+    def test_bytes_are_deterministic(self, tmp_path):
+        doc = {"z": 1, "a": {"n": [3, 2]}}
+        p1 = save_golden(doc, tmp_path / "one.json")
+        p2 = save_golden(doc, tmp_path / "two.json")
+        assert p1.read_bytes() == p2.read_bytes()
+        assert p1.read_text().endswith("\n")
+
+    def test_schema_is_stamped(self, tmp_path):
+        path = save_golden({"a": 1}, tmp_path / "g.json")
+        raw = json.loads(path.read_text())
+        assert raw["schema"] == GOLDEN_SCHEMA_VERSION
+
+    def test_missing_golden_points_at_record(self, tmp_path):
+        with pytest.raises(ValidationError) as err:
+            load_golden(tmp_path / "absent.json")
+        assert "repro scenarios record" in str(err.value)
+
+    def test_newer_schema_refused(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"schema": 99, "a": 1}))
+        with pytest.raises(SchemaVersionError):
+            load_golden(path)
+        path.write_text(json.dumps({"a": 1}))
+        with pytest.raises(ValidationError):
+            load_golden(path)
+
+    def test_golden_path_layout(self):
+        path = golden_path("results/goldens", "low", "clean_pulse")
+        assert str(path).endswith("results/goldens/low/clean_pulse.json")
+
+
+class TestComparator:
+    def test_equal_documents_have_no_diffs(self):
+        doc = {"a": [1, 2.0, "s", True], "b": {"c": None}}
+        assert compare_documents(doc, doc) == []
+
+    def test_float_tolerance(self):
+        assert compare_documents({"x": 1.0}, {"x": 1.0 + 1e-9}) == []
+        diffs = compare_documents({"x": 1.0}, {"x": 1.1})
+        assert diffs and "$.x" in diffs[0]
+
+    def test_exact_mode(self):
+        # rtol=0, atol=0 turns the comparator into exact equality —
+        # the backend-parity check relies on this.
+        assert compare_documents(
+            {"x": 1.0}, {"x": 1.0}, rtol=0.0, atol=0.0
+        ) == []
+        assert compare_documents(
+            {"x": 1.0}, {"x": 1.0 + 1e-12}, rtol=0.0, atol=0.0
+        )
+
+    def test_integers_compare_exactly(self):
+        assert compare_documents({"n": 5}, {"n": 6})
+        assert compare_documents({"n": 5}, {"n": 5}) == []
+
+    def test_int_float_cross_uses_tolerance(self):
+        assert compare_documents({"n": 5}, {"n": 5.0}) == []
+
+    def test_bool_never_matches_int(self):
+        assert compare_documents({"b": True}, {"b": 1})
+        assert compare_documents({"b": 1}, {"b": True})
+
+    def test_structure_mismatches_are_located(self):
+        diffs = compare_documents(
+            {"a": {"b": [1, 2]}}, {"a": {"b": [1, 2, 3]}}
+        )
+        assert diffs == ["$.a.b: length 3 != expected 2"]
+        diffs = compare_documents({"a": 1}, {"c": 1})
+        assert any("missing key" in d for d in diffs)
+        assert any("unexpected key" in d for d in diffs)
+
+    def test_nested_paths(self):
+        diffs = compare_documents(
+            {"a": [{"x": "p"}]}, {"a": [{"x": "q"}]}
+        )
+        assert diffs == ["$.a[0].x: 'q' != expected 'p'"]
+
+    def test_type_mismatch(self):
+        assert compare_documents({"a": "1"}, {"a": 1})
+        assert compare_documents({"a": None}, {"a": 0})

@@ -1,0 +1,216 @@
+"""The regression harness, including the standing golden gate.
+
+``TestGoldenGate`` is the tier-1 acceptance check of ISSUE 7: the full
+(scenario × setup × backend) matrix re-runs against the goldens
+committed under ``results/goldens/`` and must pass bit-identical
+backend parity plus the recall / false-positive thresholds in every
+cell.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.obs import get_registry
+from repro.scenarios import (
+    SCENARIO_SETUPS,
+    run_cell,
+    run_matrix,
+    scenario_by_name,
+    setup_by_key,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+GOLDENS = REPO_ROOT / "results" / "goldens"
+
+
+class TestScenarioSetups:
+    def test_columns_are_low_and_high(self):
+        assert [s.key for s in SCENARIO_SETUPS] == ["low", "high"]
+
+    def test_setup_by_key(self):
+        assert setup_by_key("low").grid.first == 1.0
+        assert setup_by_key("high").setup.channels == 32
+        with pytest.raises(ValidationError):
+            setup_by_key("mid")
+
+    def test_plans_build_without_tuning(self):
+        for column in SCENARIO_SETUPS:
+            plan = column.plan()
+            assert plan.config == column.config
+
+
+class TestRunCell:
+    def test_document_is_deterministic_and_json_ready(self):
+        import json
+
+        scenario = scenario_by_name("clean_pulse")
+        column = setup_by_key("low")
+        a = run_cell(scenario, column, "tiled")
+        b = run_cell(scenario, column, "tiled")
+        assert a.document == b.document
+        json.dumps(a.document)
+
+    def test_document_has_no_timing_fields(self):
+        cell = run_cell(
+            scenario_by_name("noise_floor"), setup_by_key("low"), "tiled"
+        )
+
+        def walk(node, path="$"):
+            if isinstance(node, dict):
+                for key, value in node.items():
+                    assert "seconds" not in key or key.endswith(
+                        ("width_seconds", "period_seconds")
+                    ), f"wall-clock field {path}.{key}"
+                    assert key not in (
+                        "elapsed", "latency", "throughput", "timestamp",
+                    ), f"wall-clock field {path}.{key}"
+                    walk(value, f"{path}.{key}")
+            elif isinstance(node, list):
+                for i, value in enumerate(node):
+                    walk(value, f"{path}[{i}]")
+
+        walk(cell.document)
+
+    def test_cell_metrics_registered(self):
+        before = get_registry().counter(
+            "repro_scenario_cells_total",
+            outcome="passed",
+            scenario="noise_floor",
+            setup="low",
+            backend="tiled",
+        ).value
+        run_cell(
+            scenario_by_name("noise_floor"), setup_by_key("low"), "tiled"
+        )
+        after = get_registry().counter(
+            "repro_scenario_cells_total",
+            outcome="passed",
+            scenario="noise_floor",
+            setup="low",
+            backend="tiled",
+        ).value
+        assert after == before + 1
+
+
+class TestRunMatrix:
+    def test_mode_validation(self):
+        with pytest.raises(ValidationError):
+            run_matrix(mode="replay")
+        with pytest.raises(ValidationError):
+            run_matrix(backends=())
+
+    def test_single_cell_run(self):
+        report = run_matrix(
+            scenarios=(scenario_by_name("noise_floor"),),
+            setups=(setup_by_key("low"),),
+            backends=("tiled",),
+            mode="run",
+        )
+        assert len(report.cells) == 1
+        assert report.parity_failures == ()
+        assert report.golden_diffs == ()
+        assert report.passed
+
+    def test_record_then_check_round_trip(self, tmp_path):
+        common = dict(
+            scenarios=(scenario_by_name("clean_pulse"),),
+            setups=(setup_by_key("low"),),
+            backends=("tiled",),
+            goldens_dir=tmp_path,
+        )
+        recorded = run_matrix(mode="record", **common)
+        assert recorded.passed
+        assert (tmp_path / "low" / "clean_pulse.json").exists()
+        checked = run_matrix(mode="check", **common)
+        assert checked.golden_diffs == ()
+        assert checked.passed
+
+    def test_check_flags_behaviour_change(self, tmp_path):
+        import json
+
+        common = dict(
+            scenarios=(scenario_by_name("noise_floor"),),
+            setups=(setup_by_key("low"),),
+            backends=("tiled",),
+            goldens_dir=tmp_path,
+        )
+        run_matrix(mode="record", **common)
+        path = tmp_path / "low" / "noise_floor.json"
+        doc = json.loads(path.read_text())
+        doc["ledger"]["chunks_processed"] += 1
+        path.write_text(json.dumps(doc))
+        report = run_matrix(mode="check", **common)
+        assert report.golden_diffs
+        assert "chunks_processed" in report.golden_diffs[0]
+        assert not report.passed
+
+    def test_seed_override_changes_goldens(self, tmp_path):
+        common = dict(
+            scenarios=(scenario_by_name("clean_pulse"),),
+            setups=(setup_by_key("low"),),
+            backends=("tiled",),
+            goldens_dir=tmp_path,
+        )
+        run_matrix(mode="record", **common)
+        report = run_matrix(mode="check", seed=1234, **common)
+        assert report.golden_diffs
+
+    def test_bench_document_shape(self):
+        report = run_matrix(
+            scenarios=(
+                scenario_by_name("clean_pulse"),
+                scenario_by_name("noise_floor"),
+            ),
+            setups=(setup_by_key("low"),),
+            mode="run",
+        )
+        bench = report.bench_document()
+        assert bench["bench"] == "scenarios"
+        assert bench["n_cells"] == 4
+        assert bench["scenarios"]["clean_pulse"]["truth_bearing"]
+        assert not bench["scenarios"]["noise_floor"]["truth_bearing"]
+        low = bench["scenarios"]["clean_pulse"]["setups"]["low"]
+        assert low["passed"]
+        assert bench["passed"]
+
+    def test_summary_mentions_every_cell(self):
+        report = run_matrix(
+            scenarios=(scenario_by_name("clean_pulse"),),
+            setups=(setup_by_key("low"),),
+            mode="run",
+        )
+        text = report.summary()
+        assert "clean_pulse" in text and "PASS" in text
+
+
+class TestGoldenGate:
+    """The standing ISSUE 7 acceptance gate (tier-1)."""
+
+    def test_committed_goldens_exist_for_every_cell(self):
+        from repro.scenarios import scenario_catalog
+
+        for column in SCENARIO_SETUPS:
+            for scenario in scenario_catalog():
+                path = GOLDENS / column.key / f"{scenario.name}.json"
+                assert path.exists(), f"missing golden {path}"
+
+    def test_full_matrix_passes_against_committed_goldens(self):
+        report = run_matrix(mode="check", goldens_dir=GOLDENS)
+        assert report.parity_failures == (), report.summary()
+        assert report.golden_diffs == (), report.summary()
+        failed = [c for c in report.cells if not c.score.passed]
+        assert not failed, report.summary()
+        # The headline thresholds of the acceptance criteria.
+        for cell in report.cells:
+            score = cell.score
+            if score.n_expected:
+                assert score.recall >= 0.9
+                assert score.false_positive_rate <= 0.05
+        noise = [
+            c for c in report.cells if c.scenario == "noise_floor"
+        ]
+        assert noise and all(
+            c.score.n_accepted == 0 for c in noise
+        )

@@ -1,0 +1,189 @@
+"""Ground-truth matching and scoring rules."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.scenarios.truth import (
+    FALSE_POSITIVE_CEILING,
+    RECALL_FLOOR,
+    ExpectedCandidate,
+    GroundTruth,
+    score_report,
+)
+
+
+def _member(dm_index, snr=9.0, time_sample=100):
+    return SimpleNamespace(
+        dm_index=dm_index, snr=snr, time_sample=time_sample
+    )
+
+
+def _cluster(members, best=None):
+    members = tuple(members)
+    return SimpleNamespace(
+        members=members, best=best or members[0]
+    )
+
+
+def _report(accepted=(), vetoed=(), verdict="realtime_sustained",
+            missing=(), duplicates=()):
+    return SimpleNamespace(
+        result=SimpleNamespace(accepted=tuple(accepted),
+                               vetoed=tuple(vetoed)),
+        verdict=verdict,
+        missing_sequences=tuple(missing),
+        duplicate_sequences=tuple(duplicates),
+    )
+
+
+class TestExpectedCandidate:
+    def test_membership_match_within_tolerance(self):
+        expected = ExpectedCandidate(dm=5.0, trial=5, trial_tolerance=2)
+        cluster = _cluster([_member(7, snr=8.0)])
+        assert expected.matches_cluster(cluster)
+
+    def test_membership_match_needs_min_snr(self):
+        expected = ExpectedCandidate(dm=5.0, trial=5, min_snr=6.0)
+        assert not expected.matches_cluster(
+            _cluster([_member(5, snr=5.9)])
+        )
+
+    def test_membership_match_outside_tolerance(self):
+        expected = ExpectedCandidate(dm=5.0, trial=5, trial_tolerance=1)
+        assert not expected.matches_cluster(_cluster([_member(8)]))
+
+    def test_any_member_suffices(self):
+        expected = ExpectedCandidate(dm=5.0, trial=5)
+        cluster = _cluster(
+            [_member(0, snr=20.0), _member(6, snr=7.0)],
+            best=_member(0, snr=20.0),
+        )
+        assert expected.matches_cluster(cluster)
+
+    def test_attributable_by_time(self):
+        expected = ExpectedCandidate(
+            dm=5.0, trial=5, time_samples=(400,), time_tolerance=64
+        )
+        near = _cluster([_member(11, time_sample=430)])
+        far = _cluster([_member(11, time_sample=600)])
+        assert expected.attributable(near)
+        assert not expected.attributable(far)
+
+    def test_no_time_samples_never_attributable(self):
+        expected = ExpectedCandidate(dm=5.0, trial=5)
+        assert not expected.attributable(_cluster([_member(5)]))
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ExpectedCandidate(dm=5.0, trial=-1)
+        with pytest.raises(ValidationError):
+            ExpectedCandidate(dm=5.0, trial=0, trial_tolerance=-1)
+
+
+class TestGroundTruth:
+    def test_expect_empty_conflicts_with_expected(self):
+        with pytest.raises(ValidationError):
+            GroundTruth(
+                expected=(ExpectedCandidate(dm=1.0, trial=1),),
+                expect_empty=True,
+            )
+
+    def test_with_faults_round_trip(self):
+        truth = GroundTruth().with_faults((2,), (1,))
+        assert truth.missing_sequences == (2,)
+        assert truth.duplicate_sequences == (1,)
+
+    def test_truth_bearing(self):
+        assert GroundTruth(
+            expected=(ExpectedCandidate(dm=1.0, trial=1),)
+        ).truth_bearing
+        assert not GroundTruth(expect_empty=True).truth_bearing
+
+    def test_as_dict_is_json_ready(self):
+        import json
+
+        truth = GroundTruth(
+            expected=(ExpectedCandidate(dm=5.0, trial=5,
+                                        time_samples=(10, 20)),),
+        ).with_faults((2,), ())
+        json.dumps(truth.as_dict())
+
+
+class TestScoreReport:
+    def test_perfect_recall(self):
+        truth = GroundTruth(
+            expected=(ExpectedCandidate(dm=5.0, trial=5),)
+        )
+        score = score_report(
+            "s", truth, _report(accepted=[_cluster([_member(5)])])
+        )
+        assert score.recall == 1.0
+        assert score.false_positive_rate == 0.0
+        assert score.passed
+
+    def test_missed_candidate_fails_recall_floor(self):
+        truth = GroundTruth(
+            expected=(ExpectedCandidate(dm=5.0, trial=5),)
+        )
+        score = score_report("s", truth, _report())
+        assert score.recall == 0.0
+        assert not score.passed
+
+    def test_unattributable_cluster_is_false_positive(self):
+        truth = GroundTruth(
+            expected=(ExpectedCandidate(dm=5.0, trial=5,
+                                        time_samples=(100,)),)
+        )
+        rogue = _cluster([_member(11, time_sample=900)])
+        match = _cluster([_member(5, time_sample=100)])
+        score = score_report(
+            "s", truth, _report(accepted=[match, rogue])
+        )
+        assert score.n_false_positive == 1
+        assert score.false_positive_rate == pytest.approx(0.5)
+        assert not score.passed
+
+    def test_time_coincident_cluster_is_not_false_positive(self):
+        # A DM-wandering cluster that peaks at a true event time is
+        # attributable even when its members miss the trial tolerance.
+        truth = GroundTruth(
+            expected=(ExpectedCandidate(dm=5.0, trial=5,
+                                        time_samples=(500,)),)
+        )
+        sidelobe = _cluster([_member(11, time_sample=510)])
+        score = score_report("s", truth, _report(accepted=[sidelobe]))
+        assert score.n_false_positive == 0
+
+    def test_expect_empty(self):
+        truth = GroundTruth(expect_empty=True)
+        clean = score_report("s", truth, _report())
+        assert clean.passed and clean.recall == 1.0
+        dirty = score_report(
+            "s", truth, _report(accepted=[_cluster([_member(3)])])
+        )
+        assert not dirty.empty_ok and not dirty.passed
+
+    def test_verdict_condition(self):
+        truth = GroundTruth(expect_empty=True,
+                            expected_verdict="degraded")
+        ok = score_report("s", truth, _report(verdict="degraded"))
+        bad = score_report(
+            "s", truth, _report(verdict="realtime_sustained")
+        )
+        assert ok.verdict_ok and ok.passed
+        assert not bad.verdict_ok and not bad.passed
+
+    def test_fault_accounting_condition(self):
+        truth = GroundTruth().with_faults((2,), (1,))
+        ok = score_report(
+            "s", truth, _report(missing=(2,), duplicates=(1,))
+        )
+        bad = score_report("s", truth, _report())
+        assert ok.faults_ok and ok.passed
+        assert not bad.faults_ok and not bad.passed
+
+    def test_thresholds_are_the_documented_gate(self):
+        assert RECALL_FLOOR == 0.9
+        assert FALSE_POSITIVE_CEILING == 0.05

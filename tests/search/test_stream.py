@@ -166,3 +166,97 @@ class TestIsolation:
             assert "opencl_sim" not in source.read_text(), (
                 f"{source.name} references opencl_sim directly"
             )
+
+
+class TestStreamFaultAccounting:
+    def _faulted(self, toy_low, toy_grid, drop=(), dup=()):
+        chunks = make_chunks(toy_low, toy_grid, n_chunks=4)
+        out = []
+        for chunk in chunks:
+            if chunk.sequence in drop:
+                continue
+            out.append(chunk)
+            if chunk.sequence in dup:
+                out.append(chunk)
+        return out
+
+    def test_contiguous_stream_reports_no_faults(self, plan, toy_low, toy_grid):
+        report = search_stream(
+            plan, iter(self._faulted(toy_low, toy_grid))
+        )
+        assert report.missing_sequences == ()
+        assert report.duplicate_sequences == ()
+
+    def test_gap_is_detected(self, plan, toy_low, toy_grid):
+        report = search_stream(
+            plan, iter(self._faulted(toy_low, toy_grid, drop=(2,)))
+        )
+        assert report.missing_sequences == (2,)
+        assert report.duplicate_sequences == ()
+
+    def test_duplicate_is_detected(self, plan, toy_low, toy_grid):
+        report = search_stream(
+            plan, iter(self._faulted(toy_low, toy_grid, dup=(1,)))
+        )
+        assert report.missing_sequences == ()
+        assert report.duplicate_sequences == (1,)
+
+    def test_gap_and_duplicate_together(self, plan, toy_low, toy_grid):
+        report = search_stream(
+            plan,
+            iter(self._faulted(toy_low, toy_grid, drop=(2,), dup=(1,))),
+        )
+        assert report.missing_sequences == (2,)
+        assert report.duplicate_sequences == (1,)
+        assert "missing" in report.summary()
+
+    def test_backpressure_drop_is_not_a_gap(self, plan, toy_low, toy_grid):
+        # A chunk shed by the bounded queue still *arrived*: it must show
+        # up in dropped_sequences, not missing_sequences.
+        chunks = make_chunks(toy_low, toy_grid, n_chunks=4)
+        config = SearchConfig(
+            queue_capacity=1,
+            min_service_seconds=2.5 * plan.samples / toy_low.samples_per_second,
+        )
+        report = StreamingSearch(plan, config).run(iter(chunks))
+        assert report.chunks_dropped > 0
+        assert report.missing_sequences == ()
+        assert set(report.dropped_sequences) <= {
+            c.sequence for c in chunks
+        }
+
+    def test_verdict_payload_is_deterministic_and_complete(
+        self, plan, toy_low, toy_grid
+    ):
+        import json
+
+        stream = self._faulted(toy_low, toy_grid, drop=(2,), dup=(1,))
+        a = search_stream(plan, iter(stream))
+        b = search_stream(plan, iter(stream))
+        payload = a.verdict_payload()
+        assert payload == b.verdict_payload()
+        json.dumps(payload)
+        assert payload["missing_sequences"] == [2]
+        assert payload["duplicate_sequences"] == [1]
+        assert payload["chunks_processed"] == a.chunks_processed
+        sequences = [row["sequence"] for row in payload["per_chunk"]]
+        assert sequences.count(1) == 2
+        assert 2 not in sequences
+        assert not any(
+            "seconds" in key for row in payload["per_chunk"] for key in row
+        )
+
+    def test_fault_counters_registered(self, plan, toy_low, toy_grid):
+        with use_registry() as registry:
+            search_stream(
+                plan,
+                iter(self._faulted(toy_low, toy_grid, drop=(2,), dup=(1,))),
+            )
+            assert registry.counter(
+                "repro_search_chunks_total", outcome="missing",
+                setup=toy_low.name,
+            ).value == 1
+            assert registry.counter(
+                "repro_search_chunks_total", outcome="duplicate",
+                setup=toy_low.name,
+            ).value == 1

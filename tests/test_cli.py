@@ -300,3 +300,62 @@ class TestTuneSaveLoad:
         saved_line = [l for l in out_saved.splitlines() if "optimum:" in l]
         loaded_line = [l for l in out_loaded.splitlines() if "optimum:" in l]
         assert saved_line == loaded_line
+
+
+class TestScenarios:
+    def test_list_prints_catalogue(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "clean_pulse" in out
+        assert "hostile_tuning" in out
+        assert "setups: low, high" in out
+
+    def test_run_single_cell(self, capsys):
+        code = main([
+            "scenarios", "run",
+            "--scenario", "noise_floor",
+            "--setups", "low",
+            "--backend", "tiled",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "noise_floor" in out and "PASS" in out
+
+    def test_record_then_check_with_bench(self, capsys, tmp_path):
+        import json
+
+        goldens = tmp_path / "goldens"
+        bench = tmp_path / "BENCH_scenarios.json"
+        assert main([
+            "scenarios", "record",
+            "--scenario", "noise_floor",
+            "--setups", "low",
+            "--goldens", str(goldens),
+        ]) == 0
+        capsys.readouterr()
+        assert (goldens / "low" / "noise_floor.json").exists()
+        assert main([
+            "scenarios", "check",
+            "--scenario", "noise_floor",
+            "--setups", "low",
+            "--goldens", str(goldens),
+            "--bench", str(bench),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        document = json.loads(bench.read_text())
+        assert document["bench"] == "scenarios"
+        assert document["passed"]
+
+    def test_unknown_scenario_fails_cleanly(self, capsys):
+        assert main(["scenarios", "run", "--scenario", "warp_core"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_check_without_goldens_fails_cleanly(self, capsys, tmp_path):
+        assert main([
+            "scenarios", "check",
+            "--scenario", "noise_floor",
+            "--setups", "low",
+            "--goldens", str(tmp_path / "absent"),
+        ]) == 2
+        assert "repro scenarios record" in capsys.readouterr().err

@@ -16,6 +16,11 @@ EXTRA_SEEDED_MODULES = (
     SRC / "tune" / "strategy.py",
     SRC / "tune" / "study.py",
     SRC / "tune" / "ablation.py",
+    SRC / "astro" / "source.py",
+    SRC / "scenarios" / "catalog.py",
+    SRC / "scenarios" / "truth.py",
+    SRC / "scenarios" / "goldens.py",
+    SRC / "scenarios" / "regression.py",
 )
 
 

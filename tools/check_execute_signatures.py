@@ -13,8 +13,15 @@ Two checks:
 
 * every pinned entrypoint (``PINNED``) carries exactly the agreed
   parameter list, in order;
-* no ``execute``-family function in the pinned files reintroduces a
-  banned alias (``ALIASES``) for one of the agreed names.
+* no ``execute``/``generate``/``add_to``-family function in the pinned
+  files reintroduces a banned alias (``ALIASES``) for one of the
+  agreed names.
+
+The signal-source redesign (``repro.astro.source``) rides the same
+pin: every :class:`SignalSource` speaks
+``generate(setup, n_samples, streams)`` — seeding always flows through
+a :class:`~repro.utils.rng.RandomStreams`, never loose ``seed``/``rng``
+parameters.
 
 Run from the repository root (CI does)::
 
@@ -64,6 +71,14 @@ PINNED: dict[str, tuple[str, tuple[str, ...]]] = {
         "repro/run/facade.py",
         ("request",),
     ),
+    "SignalSource.generate": (
+        "repro/astro/source.py",
+        ("setup", "n_samples", "streams"),
+    ),
+    "SignalSource.add_to": (
+        "repro/astro/source.py",
+        ("data", "setup", "streams"),
+    ),
 }
 
 #: Spellings the redesign retired; none may reappear in an
@@ -76,7 +91,14 @@ ALIASES: dict[str, str] = {
     "out_buffer": "out",
     "executor": "backend",
     "kernel_backend": "backend",
+    "num_samples": "n_samples",
+    "nsamples": "n_samples",
+    "rng": "streams",
+    "seed": "streams",
 }
+
+#: Function-name families the alias ban sweeps over.
+FAMILIES = ("execute", "generate", "add_to")
 
 
 def _signature(node: ast.FunctionDef) -> tuple[str, ...]:
@@ -127,7 +149,7 @@ def main() -> int:
             )
 
     for qualname, (node, where) in sorted(functions.items()):
-        if "execute" not in node.name:
+        if not any(f in node.name for f in FAMILIES):
             continue
         for name in _signature(node):
             if name in ALIASES:

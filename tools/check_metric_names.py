@@ -31,6 +31,7 @@ FAMILY_PREFIXES = (
     "repro_kernel_",
     "repro_pipeline_",
     "repro_run_",
+    "repro_scenario_",
     "repro_sched_",
     "repro_search_",
     "repro_service_",
