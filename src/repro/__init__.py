@@ -159,6 +159,14 @@ from repro.scenarios import (
     scenario_by_name,
     scenario_catalog,
 )
+from repro.survey import (
+    CoincidencePolicy,
+    SurveyPlan,
+    SurveyRun,
+    SurveyRunReport,
+    coincide,
+    run_survey,
+)
 from repro.utils import RandomStreams, derive_seed
 
 __version__ = "1.1.0"
@@ -282,6 +290,13 @@ __all__ = [
     "StreamingSearch",
     "search_stream",
     "sift_candidates",
+    # multi-beam survey driver
+    "CoincidencePolicy",
+    "SurveyPlan",
+    "SurveyRun",
+    "SurveyRunReport",
+    "coincide",
+    "run_survey",
     # seeded randomness
     "RandomStreams",
     "derive_seed",

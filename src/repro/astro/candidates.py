@@ -25,13 +25,20 @@ from repro.utils.validation import require_non_negative, require_positive
 
 @dataclass(frozen=True)
 class Candidate:
-    """One super-threshold detection in the DM-time plane."""
+    """One super-threshold detection in the DM-time plane.
+
+    ``beam`` records which telescope beam the detection came from
+    (default 0, the single-beam case), so multi-beam consumers — the
+    cross-beam coincidence stage of :mod:`repro.survey`, notably — never
+    re-derive provenance downstream.
+    """
 
     dm_index: int
     dm: float
     snr: float
     time_sample: int
     width: int
+    beam: int = 0
 
     def overlaps_in_time(self, other: "Candidate", slack: int = 0) -> bool:
         """Whether the two boxcar extents intersect (within ``slack``)."""
@@ -103,8 +110,10 @@ def sift(
 
     ``dm_radius`` is the DM distance (pc/cm^3) within which detections are
     considered the same event; ``time_slack`` the allowed gap (samples)
-    between their boxcar extents.  Returns clusters sorted by their best
-    member's S/N, descending.
+    between their boxcar extents.  Candidates from different beams never
+    merge — a per-beam cluster is the unit the cross-beam coincidence
+    stage consumes.  Returns clusters sorted by their best member's S/N,
+    descending.
     """
     require_non_negative(dm_radius, "dm_radius")
     require_non_negative(time_slack, "time_slack")
@@ -114,7 +123,8 @@ def sift(
         for cluster in clusters:
             anchor = cluster[0]  # the strongest member seeds the cluster
             if (
-                abs(candidate.dm - anchor.dm) <= dm_radius
+                candidate.beam == anchor.beam
+                and abs(candidate.dm - anchor.dm) <= dm_radius
                 and candidate.overlaps_in_time(anchor, slack=time_slack)
             ):
                 cluster.append(candidate)

@@ -399,6 +399,44 @@ class NarrowbandRFISource(SignalSource):
 
 
 @dataclass(frozen=True)
+class ScaledSource(SignalSource):
+    """A child source attenuated by a constant factor.
+
+    The multi-beam realization of :mod:`repro.survey` uses this for beam
+    response: the same astrophysical source — same seeded draws, same
+    event times — appears in adjacent beams at reduced amplitude.  The
+    child is generated into a scratch buffer and added scaled, so its
+    stream draws are identical to the unscaled source's; the reported
+    truth carries the *scaled* amplitudes.
+    """
+
+    source: SignalSource
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.factor, "factor")
+
+    def add_to(self, data, setup, streams) -> SignalTruth:
+        buffer = np.zeros_like(data)
+        truth = self.source.add_to(buffer, setup, streams)
+        data += np.float32(self.factor) * buffer
+        return SignalTruth(tuple(
+            component
+            if component.amplitude is None
+            else SignalComponent(
+                kind=component.kind,
+                dm=component.dm,
+                amplitude=component.amplitude * self.factor,
+                period_seconds=component.period_seconds,
+                time_samples=component.time_samples,
+                channels=component.channels,
+                detail=component.detail,
+            )
+            for component in truth.components
+        ))
+
+
+@dataclass(frozen=True)
 class CompositeSource(SignalSource):
     """The sum of child sources; truths merge in composition order."""
 
@@ -468,6 +506,7 @@ __all__ = [
     "BurstTrainSource",
     "BroadbandRFISource",
     "NarrowbandRFISource",
+    "ScaledSource",
     "CompositeSource",
     "stream_chunks",
 ]

@@ -15,9 +15,12 @@ Subcommands:
 * ``service`` — run the concurrent tuning service against simulated
   client traffic and print the cache/dedup/latency statistics plus a
   metrics-registry snapshot (persisted for ``repro obs``).
-* ``survey`` — run the full multi-beam survey pipeline (RFI mitigation,
-  tuned dedispersion, single-pulse + periodicity detection) on synthetic
-  beams.
+* ``survey`` — run the resumable multi-beam survey driver: a catalogue
+  scenario realized beam-correlated (signal localized to adjacent
+  beams, RFI in all beams), searched per beam, dispatched on the
+  simulated fleet, and coincidence-vetoed across beams; ``--ledger`` /
+  ``--resume`` checkpoint completed beams byte-identically and
+  ``--smoke`` runs the acceptance gate.
 * ``sched`` — plan a fleet for a survey, then execute every shard on it
   through the fault-tolerant scheduler (``--inject`` adds a crash, a
   straggler, and transient errors); writes/resumes run ledgers.
@@ -537,51 +540,138 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_survey(args: argparse.Namespace) -> int:
-    import numpy as np
+def _write_survey_bench(path: str, docs: list) -> None:
+    import json
+    from pathlib import Path
 
-    from repro.astro.dm_trials import DMTrialGrid
-    from repro.astro.signal_gen import SyntheticPulsar
-    from repro.astro.telescope import Telescope
-    from repro.pipeline.survey import SurveyPipeline
-
-    setup = ObservationSetup(
-        name="survey-demo",
-        channels=32,
-        lowest_frequency=138.0,
-        channel_bandwidth=0.2,
-        samples_per_second=1000,
-        samples_per_batch=1000,
+    document = {"bench": "survey", "runs": docs}
+    Path(path).write_text(
+        json.dumps(document, indent=1, sort_keys=True) + "\n"
     )
-    grid = DMTrialGrid(n_dms=16, first=1.0, step=1.0)
-    rng = np.random.default_rng(args.seed)
-    telescope = Telescope(setup=setup, noise_sigma=1.0, seed=args.seed)
-    hidden: dict[str, float] = {}
-    for i in range(args.beams):
-        if rng.random() < 0.5:
-            dm = float(rng.choice(grid.values[2:]))
-            period = float(rng.choice([0.1, 0.2, 0.25]))
-            telescope.add_beam(
-                pulsars=(SyntheticPulsar(period, dm=dm, amplitude=1.2),)
+    print(f"wrote {path}")
+
+
+def _survey_smoke(args: argparse.Namespace) -> int:
+    """The survey acceptance gate: recall, FP reduction, resume bytes."""
+    import tempfile
+    from pathlib import Path
+
+    from repro.errors import PipelineError
+    from repro.survey import SurveyPlan, run_survey
+
+    n_beams = max(args.beams, 8)
+    failures: list[str] = []
+    docs: list = []
+    print(f"survey smoke: {n_beams} beams on setup {args.setup!r}")
+    for scenario in ("giant_pulse_train", "rfi_storm"):
+        plan = SurveyPlan(
+            scenario=scenario,
+            setup=args.setup,
+            n_beams=n_beams,
+            seed=args.seed,
+        )
+        report = run_survey(plan)
+        docs.append(report.as_dict())
+        score = report.score
+        ok = score.recall >= 0.95 and score.fp_reduced
+        if scenario == "rfi_storm":
+            # The storm must demonstrate the veto: strictly fewer
+            # false positives after coincidencing, not just no worse.
+            ok = ok and (
+                score.post_false_positives < score.pre_false_positives
             )
-            hidden[telescope.beams[-1].label] = dm
-        else:
-            telescope.add_beam()
-    pipeline = SurveyPipeline(
-        telescope, grid, device_by_name(args.device)
+        print(
+            f"  {scenario:20s} recall {score.recall:.2f} "
+            f"fp {score.pre_false_positives}->"
+            f"{score.post_false_positives} {report.verdict} "
+            f"[{'ok' if ok else 'FAIL'}]"
+        )
+        if not ok:
+            failures.append(scenario)
+    with tempfile.TemporaryDirectory() as tmp:
+        plan = SurveyPlan(
+            scenario="rfi_storm",
+            setup=args.setup,
+            n_beams=n_beams,
+            seed=args.seed,
+        )
+        straight = Path(tmp) / "straight.jsonl"
+        crashed = Path(tmp) / "crashed.jsonl"
+        run_survey(plan, ledger_path=straight)
+        try:
+            run_survey(plan, ledger_path=crashed, crash_after=3)
+        except PipelineError:
+            pass
+        run_survey(plan, ledger_path=crashed, resume=True)
+        identical = straight.read_bytes() == crashed.read_bytes()
+        print(
+            f"  resume after injected crash byte-identical: "
+            f"{'yes' if identical else 'NO'}"
+        )
+        if not identical:
+            failures.append("resume-byte-identity")
+    if args.bench:
+        _write_survey_bench(args.bench, docs)
+    _persist_obs(quiet=True)
+    if failures:
+        print(f"survey smoke FAILED: {', '.join(failures)}")
+        return 1
+    print("survey smoke passed")
+    return 0
+
+
+def _cmd_survey(args: argparse.Namespace) -> int:
+    from repro.sched import FaultProfile
+    from repro.survey import SurveyPlan, run_survey
+
+    if args.smoke:
+        return _survey_smoke(args)
+    if args.backend == "both" and args.ledger:
+        raise ReproError(
+            "--ledger pins one survey identity; pick --backend "
+            "tiled, vectorized, or auto"
+        )
+    backends = (
+        ["tiled", "vectorized"]
+        if args.backend == "both"
+        else [args.backend]
     )
-    report = pipeline.run(n_chunks=args.chunks)
-    print(report.summary())
-    print()
-    hits = 0
-    for beam in report.beams:
-        truth = hidden.get(beam.beam_label)
-        found = beam.has_candidate
-        if (truth is not None) == found:
-            hits += 1
-    print(f"ground truth: {len(hidden)} beams host pulsars; "
-          f"{hits}/{len(report.beams)} beams classified correctly")
-    return 0 if hits == len(report.beams) else 1
+    faults = (
+        FaultProfile.default_injection()
+        if args.inject
+        else FaultProfile.none()
+    )
+    exit_code = 0
+    docs: list = []
+    for backend in backends:
+        plan = SurveyPlan(
+            scenario=args.scenario,
+            setup=args.setup,
+            n_beams=args.beams,
+            n_dms=args.dms,
+            seed=args.seed,
+            backend=None if backend == "auto" else backend,
+            n_chunks=args.chunks,
+            signal_radius=args.signal_radius,
+            adjacent_attenuation=args.attenuation,
+            faults=faults,
+        )
+        report = run_survey(
+            plan,
+            ledger_path=args.ledger,
+            resume=args.resume,
+            crash_after=args.crash_after,
+        )
+        print(report.summary())
+        if len(backends) > 1:
+            print()
+        docs.append(report.as_dict())
+        if not report.score.fp_reduced:
+            exit_code = 1
+    if args.bench:
+        _write_survey_bench(args.bench, docs)
+    _persist_obs(quiet=True)
+    return exit_code
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -928,12 +1018,70 @@ def build_parser() -> argparse.ArgumentParser:
     search.set_defaults(func=_cmd_search, rfi=True)
 
     survey = sub.add_parser(
-        "survey", help="full survey pipeline on synthetic beams"
+        "survey",
+        help="resumable multi-beam survey with cross-beam "
+        "coincidence vetoing",
     )
-    survey.add_argument("--device", default="HD7970")
-    survey.add_argument("--beams", type=int, default=4)
-    survey.add_argument("--chunks", type=int, default=2)
+    survey.add_argument(
+        "--scenario", default="giant_pulse_train",
+        help="catalogue scenario realized beam-correlated "
+        "(default: giant_pulse_train)",
+    )
+    survey.add_argument(
+        "--setup", default="low", choices=("low", "high"),
+        help="benchmark setup column",
+    )
+    survey.add_argument(
+        "--beams", type=int, default=8, help="beam count"
+    )
+    survey.add_argument(
+        "--dms", type=int, default=None,
+        help="override the setup's trial-DM count",
+    )
+    survey.add_argument(
+        "--chunks", type=int, default=None,
+        help="override the scenario's chunk count",
+    )
+    survey.add_argument(
+        "--backend",
+        choices=("tiled", "vectorized", "auto", "both"),
+        default="auto",
+        help="kernel executor(s); 'both' runs tiled then vectorized",
+    )
     survey.add_argument("--seed", type=int, default=0)
+    survey.add_argument(
+        "--signal-radius", type=int, default=1,
+        help="beams around the centre carrying the signal",
+    )
+    survey.add_argument(
+        "--attenuation", type=float, default=0.7,
+        help="per-beam-step signal amplitude falloff",
+    )
+    survey.add_argument(
+        "--inject", action="store_true",
+        help="inject crashes/stragglers/transients into the fleet stage",
+    )
+    survey.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="checkpoint completed beams to this JSONL survey ledger",
+    )
+    survey.add_argument(
+        "--resume", action="store_true",
+        help="load the --ledger first and skip its completed beams",
+    )
+    survey.add_argument(
+        "--crash-after", type=int, default=None, metavar="N",
+        help="inject a crash (partial ledger line) after N new beams",
+    )
+    survey.add_argument(
+        "--smoke", action="store_true",
+        help="acceptance gate: recall/FP thresholds plus the "
+        "crash-resume byte-identity check",
+    )
+    survey.add_argument(
+        "--bench", default=None, metavar="PATH",
+        help="also write the BENCH_survey.json document to PATH",
+    )
     survey.set_defaults(func=_cmd_survey)
 
     scen = sub.add_parser(

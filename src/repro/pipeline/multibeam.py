@@ -18,8 +18,9 @@ from repro.astro.observation import ObservationSetup
 from repro.errors import PipelineError
 from repro.hardware.device import DeviceSpec
 from repro.core.tuner import AutoTuner
+from repro.utils.deprecation import warn_once
 from repro.utils.intmath import ceil_div
-from repro.utils.validation import require_positive, require_positive_int
+from repro.utils.validation import require_positive_int
 
 
 #: Device memory assumed per accelerator, bytes (3 GiB — the HD7970 /
@@ -97,22 +98,23 @@ class MultiBeamScheduler:
     def execute(self, n_beams: int, duration_s: float = 1.0, **engine_kwargs):
         """Run ``n_beams`` on the devices :meth:`assign` sizes.
 
-        Bridges the packing into :mod:`repro.sched`: the assignment's
-        ``devices_needed`` units of this device execute the sharded
-        survey (shards sized by the same memory accounting as
-        :meth:`memory_per_beam`), returning the
-        :class:`~repro.sched.RunReport`.  Engine keywords — ``seed``,
-        ``faults``, ``steal`` … — pass through.
+        Deprecated shim: warns once, then runs the moved body in
+        :func:`repro.survey.legacy.execute_beam_assignment` —
+        identical behaviour (the assignment's ``devices_needed`` units
+        of this device execute the sharded survey through
+        :mod:`repro.sched`; engine keywords pass through).  New code
+        should drive the fleet through
+        :func:`repro.survey.run_survey`, which composes this dispatch
+        with the per-beam search and cross-beam coincidencing.
         """
-        from repro.sched import ExecutionEngine  # local: sched sits above pipeline
+        from repro.survey.legacy import execute_beam_assignment
 
-        assignment = self.assign(n_beams)
-        engine = ExecutionEngine(
-            [(self.device, assignment.devices_needed, self.device_memory_bytes)],
-            self.setup,
-            self.grid,
-            n_beams,
-            duration_s,
-            **engine_kwargs,
+        warn_once(
+            "MultiBeamScheduler.execute",
+            "MultiBeamScheduler.execute is deprecated; use "
+            "repro.survey.run_survey (fleet dispatch included) or "
+            "repro.sched.ExecutionEngine directly",
         )
-        return engine.run()
+        return execute_beam_assignment(
+            self, n_beams, duration_s, **engine_kwargs
+        )

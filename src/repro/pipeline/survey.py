@@ -5,25 +5,30 @@ paper's introduction motivates: for each beam, stream chunks through RFI
 mitigation, tuned dedispersion, and both detection back-ends
 (single-pulse boxcar search and Fourier periodicity search), collecting
 candidates and real-time accounting into a :class:`SurveyReport`.
+
+.. deprecated::
+    This single-host driver is superseded by :mod:`repro.survey` —
+    the resumable, coincidence-vetoed survey subsystem
+    (``repro survey`` / :func:`repro.survey.run_survey`).
+    :meth:`SurveyPipeline.run` still works (it warns once and routes
+    through :mod:`repro.survey.legacy`), but new code should build a
+    :class:`~repro.survey.SurveyPlan` instead.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.astro.dm_trials import DMTrialGrid
-from repro.astro.periodicity import PeriodicityCandidate, search_periodicity
-from repro.astro.rfi import mask_noisy_channels, zero_dm_filter
-from repro.astro.snr import DMDetection, detect_dm
+from repro.astro.periodicity import PeriodicityCandidate
+from repro.astro.snr import DMDetection
 from repro.astro.telescope import Telescope
 from repro.core.plan import DedispersionPlan
 from repro.errors import PipelineError
 from repro.hardware.device import DeviceSpec
-from repro.obs import get_registry, span
 from repro.pipeline.streaming import StreamingDedispersion
-from repro.utils.validation import require_positive, require_positive_int
+from repro.utils.deprecation import warn_once
+from repro.utils.validation import require_positive
 
 
 @dataclass(frozen=True)
@@ -123,71 +128,19 @@ class SurveyPipeline:
 
     # ------------------------------------------------------------------
     def run(self, n_chunks: int = 2) -> SurveyReport:
-        """Process every beam for ``n_chunks`` chunks; return the report."""
-        require_positive_int(n_chunks, "n_chunks")
-        results = [
-            self._run_beam(beam, n_chunks) for beam in self.telescope.beams
-        ]
-        return SurveyReport(
-            setup_name=self.telescope.setup.name,
-            device_name=self.device.name,
-            n_dms=self.grid.n_dms,
-            beams=tuple(results),
+        """Process every beam for ``n_chunks`` chunks; return the report.
+
+        Deprecated shim: warns once, then runs the moved body in
+        :func:`repro.survey.legacy.run_survey_pipeline` — identical
+        behaviour, spans, and metrics.
+        """
+        from repro.survey.legacy import run_survey_pipeline
+
+        warn_once(
+            "SurveyPipeline.run",
+            "SurveyPipeline.run is deprecated; use the resumable "
+            "multi-beam survey driver instead, e.g. "
+            "repro.survey.run_survey(SurveyPlan(scenario='rfi_storm', "
+            "n_beams=8)) or the `repro survey` command",
         )
-
-    def _run_beam(self, beam, n_chunks: int) -> BeamResult:
-        setup = self.telescope.setup
-        best_sp: DMDetection | None = None
-        periodic: list[PeriodicityCandidate] = []
-        masked = 0
-        realtime = True
-        series_accumulator: list[np.ndarray] = []
-
-        with span(
-            "pipeline.beam", beam=beam.label, setup=setup.name
-        ) as beam_span:
-            for chunk in self.telescope.stream(beam, n_chunks, self.grid):
-                data = chunk.data
-                if self.rfi_mitigation:
-                    with span("pipeline.rfi", beam=beam.label):
-                        masked += mask_noisy_channels(data).n_masked
-                        zero_dm_filter(data)
-                result = self._stream.process(chunk)
-                realtime &= result.realtime
-                with span("pipeline.single_pulse", beam=beam.label):
-                    detection = detect_dm(result.output, self.grid.values)
-                if detection.snr >= self.single_pulse_threshold and (
-                    best_sp is None or detection.snr > best_sp.snr
-                ):
-                    best_sp = detection
-                series_accumulator.append(result.output)
-
-            # Periodicity runs on the concatenated dedispersed series:
-            # longer baselines resolve lower frequencies and raise
-            # significance.
-            full = np.concatenate(series_accumulator, axis=1)
-            with span("pipeline.periodicity", beam=beam.label):
-                periodic = search_periodicity(
-                    full,
-                    self.grid.values,
-                    setup.samples_per_second,
-                    sigma_threshold=self.periodicity_threshold,
-                )
-            beam_span.attributes["realtime"] = realtime
-        registry = get_registry()
-        registry.counter(
-            "repro_pipeline_beams_total", setup=setup.name
-        ).inc()
-        if best_sp is not None or periodic:
-            registry.counter(
-                "repro_pipeline_candidates_total", setup=setup.name
-            ).inc()
-        return BeamResult(
-            beam_index=beam.index,
-            beam_label=beam.label,
-            chunks_processed=n_chunks,
-            best_single_pulse=best_sp,
-            periodicity_candidates=tuple(periodic[:5]),
-            masked_channels=masked,
-            realtime=realtime,
-        )
+        return run_survey_pipeline(self, n_chunks)

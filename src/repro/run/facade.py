@@ -212,10 +212,18 @@ class ExecutionRequest:
                 )
             return
         if self.chunks is not None:
-            raise ValidationError("chunks= is only valid in streaming mode")
+            raise ValidationError(
+                f"chunks= is only valid in streaming mode "
+                f"(of {', '.join(m for m in EXECUTION_MODES if m != 'auto')}), "
+                f"but this request resolves to {mode!r} mode"
+            )
         if self.scenario is not None:
             raise ValidationError(
-                "scenario= is only valid in streaming mode"
+                f"scenario= is only valid in streaming mode "
+                f"(of {', '.join(m for m in EXECUTION_MODES if m != 'auto')}), "
+                f"but this request resolves to {mode!r} mode; pass "
+                f"plan= and drop mode={mode!r} (or use mode='streaming') "
+                f"to stream the scenario's chunks"
             )
         if mode == "sharded":
             if not self.shards:

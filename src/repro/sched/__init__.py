@@ -29,10 +29,15 @@ from repro.sched.faults import FaultInjector, FaultProfile
 from repro.sched.ledger import (
     LEDGER_SCHEMA_VERSION,
     SUPPORTED_LEDGER_SCHEMAS,
+    SUPPORTED_SURVEY_LEDGER_SCHEMAS,
+    SURVEY_LEDGER_SCHEMA_VERSION,
     Attempt,
     RunLedger,
     ShardRecord,
+    SurveyBeamRecord,
+    SurveyLedger,
     load_ledger,
+    load_survey_ledger,
     validate_document,
 )
 from repro.sched.shard import (
@@ -46,6 +51,8 @@ from repro.sched.workers import ServiceTimeModel, Worker, WorkerStats
 __all__ = [
     "LEDGER_SCHEMA_VERSION",
     "SUPPORTED_LEDGER_SCHEMAS",
+    "SUPPORTED_SURVEY_LEDGER_SCHEMAS",
+    "SURVEY_LEDGER_SCHEMA_VERSION",
     "Attempt",
     "ExecutionEngine",
     "FaultInjector",
@@ -55,10 +62,13 @@ __all__ = [
     "ServiceTimeModel",
     "Shard",
     "ShardRecord",
+    "SurveyBeamRecord",
+    "SurveyLedger",
     "Worker",
     "WorkerStats",
     "dm_chunk_for_memory",
     "load_ledger",
+    "load_survey_ledger",
     "shard_memory_bytes",
     "shard_survey",
     "validate_document",

@@ -166,12 +166,15 @@ class MatchedFilterDetector:
         dedispersed: np.ndarray,
         dms: np.ndarray,
         time_offset: int = 0,
+        beam: int = 0,
     ) -> list[Candidate]:
         """Super-threshold candidates of one ``(n_dms, samples)`` plane.
 
         ``time_offset`` shifts every reported ``time_sample`` into a
         global stream timeline (the chunk's first output sample), so
         per-chunk detections from a stream can be sifted together.
+        ``beam`` labels every candidate with its telescope beam so
+        multi-beam consumers keep provenance through sifting.
         """
         dedispersed = np.asarray(dedispersed)
         if dedispersed.ndim != 2 or dedispersed.shape[0] != len(dms):
@@ -188,6 +191,7 @@ class MatchedFilterDetector:
                 snr=float(snrs[i]),
                 time_sample=int(offsets[i]) + int(time_offset),
                 width=int(widths[i]),
+                beam=int(beam),
             )
             for i in hits
         ]

@@ -336,6 +336,7 @@ class StreamingSearch:
                             result.output,
                             self.plan.grid.values,
                             time_offset=chunk.sequence * self.plan.samples,
+                            beam=chunk.beam_index,
                         )
                     detect_seconds = time.perf_counter() - detect_start
                     raw.extend(found)

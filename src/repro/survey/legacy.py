@@ -1,0 +1,124 @@
+"""Execution bodies behind the deprecated single-host pipeline shims.
+
+PR-8 made :mod:`repro.survey` the blessed way to run a multi-beam
+survey; the old entrypoints — :meth:`repro.pipeline.survey.SurveyPipeline.run`
+and :meth:`repro.pipeline.multibeam.MultiBeamScheduler.execute` — stay
+importable and behaviourally identical, but warn once and delegate
+here.  The bodies moved verbatim (same spans, same metrics, same
+results) so existing callers and goldens see no change; only the
+warning is new.  This mirrors how the PR-5/PR-7 deprecations routed the
+legacy execute entrypoints through :mod:`repro.run`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.astro.periodicity import PeriodicityCandidate, search_periodicity
+from repro.astro.rfi import mask_noisy_channels, zero_dm_filter
+from repro.astro.snr import DMDetection, detect_dm
+from repro.obs import get_registry, span
+from repro.utils.validation import require_positive_int
+
+
+def run_survey_pipeline(pipeline, n_chunks: int):
+    """The moved body of ``SurveyPipeline.run`` (single-host survey)."""
+    from repro.pipeline.survey import SurveyReport
+
+    require_positive_int(n_chunks, "n_chunks")
+    results = [
+        _run_beam(pipeline, beam, n_chunks)
+        for beam in pipeline.telescope.beams
+    ]
+    return SurveyReport(
+        setup_name=pipeline.telescope.setup.name,
+        device_name=pipeline.device.name,
+        n_dms=pipeline.grid.n_dms,
+        beams=tuple(results),
+    )
+
+
+def _run_beam(pipeline, beam, n_chunks: int):
+    from repro.pipeline.survey import BeamResult
+
+    setup = pipeline.telescope.setup
+    best_sp: DMDetection | None = None
+    periodic: list[PeriodicityCandidate] = []
+    masked = 0
+    realtime = True
+    series_accumulator: list[np.ndarray] = []
+
+    with span(
+        "pipeline.beam", beam=beam.label, setup=setup.name
+    ) as beam_span:
+        for chunk in pipeline.telescope.stream(
+            beam, n_chunks, pipeline.grid
+        ):
+            data = chunk.data
+            if pipeline.rfi_mitigation:
+                with span("pipeline.rfi", beam=beam.label):
+                    masked += mask_noisy_channels(data).n_masked
+                    zero_dm_filter(data)
+            result = pipeline._stream.process(chunk)
+            realtime &= result.realtime
+            with span("pipeline.single_pulse", beam=beam.label):
+                detection = detect_dm(result.output, pipeline.grid.values)
+            if detection.snr >= pipeline.single_pulse_threshold and (
+                best_sp is None or detection.snr > best_sp.snr
+            ):
+                best_sp = detection
+            series_accumulator.append(result.output)
+
+        # Periodicity runs on the concatenated dedispersed series:
+        # longer baselines resolve lower frequencies and raise
+        # significance.
+        full = np.concatenate(series_accumulator, axis=1)
+        with span("pipeline.periodicity", beam=beam.label):
+            periodic = search_periodicity(
+                full,
+                pipeline.grid.values,
+                setup.samples_per_second,
+                sigma_threshold=pipeline.periodicity_threshold,
+            )
+        beam_span.attributes["realtime"] = realtime
+    registry = get_registry()
+    registry.counter(
+        "repro_pipeline_beams_total", setup=setup.name
+    ).inc()
+    if best_sp is not None or periodic:
+        registry.counter(
+            "repro_pipeline_candidates_total", setup=setup.name
+        ).inc()
+    return BeamResult(
+        beam_index=beam.index,
+        beam_label=beam.label,
+        chunks_processed=n_chunks,
+        best_single_pulse=best_sp,
+        periodicity_candidates=tuple(periodic[:5]),
+        masked_channels=masked,
+        realtime=realtime,
+    )
+
+
+def execute_beam_assignment(
+    scheduler, n_beams: int, duration_s: float = 1.0, **engine_kwargs
+):
+    """The moved body of ``MultiBeamScheduler.execute``."""
+    from repro.sched import ExecutionEngine
+
+    assignment = scheduler.assign(n_beams)
+    engine = ExecutionEngine(
+        [
+            (
+                scheduler.device,
+                assignment.devices_needed,
+                scheduler.device_memory_bytes,
+            )
+        ],
+        scheduler.setup,
+        scheduler.grid,
+        n_beams,
+        duration_s,
+        **engine_kwargs,
+    )
+    return engine.run()

@@ -1,0 +1,73 @@
+"""The legacy survey entrypoints: warn once, still correct.
+
+``SurveyPipeline.run`` and ``MultiBeamScheduler.execute`` became
+deprecation shims over :mod:`repro.survey.legacy` when the resumable
+survey driver landed.  They must keep their exact behaviour and emit
+exactly one :class:`DeprecationWarning` per process.
+"""
+
+import warnings
+
+import pytest
+
+from repro.astro.dm_trials import DMTrialGrid
+from repro.astro.observation import ObservationSetup, apertif
+from repro.astro.signal_gen import SyntheticPulsar
+from repro.astro.telescope import Telescope
+from repro.hardware.catalog import hd7970
+from repro.pipeline.multibeam import MultiBeamScheduler
+from repro.pipeline.survey import SurveyPipeline
+from repro.utils.deprecation import reset_deprecation_warning
+
+
+def _assert_warns_once_then_never(key, call):
+    """First ``call()`` warns a DeprecationWarning; the second is silent."""
+    reset_deprecation_warning(key)
+    with pytest.warns(DeprecationWarning, match="repro.survey"):
+        first = call()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        second = call()
+    assert not [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+    return first, second
+
+
+class TestSurveyPipelineShim:
+    def test_warns_once_and_behaves_unchanged(self):
+        setup = ObservationSetup(
+            name="shim-test",
+            channels=32,
+            lowest_frequency=138.0,
+            channel_bandwidth=0.2,
+            samples_per_second=1000,
+            samples_per_batch=1000,
+        )
+        grid = DMTrialGrid(n_dms=16, first=1.0, step=1.0)
+        scope = Telescope(setup=setup, noise_sigma=0.8, seed=31)
+        scope.add_beam(
+            label="host",
+            pulsars=(SyntheticPulsar(0.2, dm=8.0, amplitude=1.2),),
+        )
+        pipeline = SurveyPipeline(scope, grid, hd7970())
+        first, second = _assert_warns_once_then_never(
+            "SurveyPipeline.run", lambda: pipeline.run(n_chunks=2)
+        )
+        assert [b.beam_label for b in first.beams] == ["host"]
+        assert first.beams[0].has_candidate
+        assert (
+            [b.has_candidate for b in first.beams]
+            == [b.has_candidate for b in second.beams]
+        )
+
+
+class TestMultiBeamSchedulerShim:
+    def test_warns_once_and_still_returns_run_report(self):
+        scheduler = MultiBeamScheduler(hd7970(), apertif(), DMTrialGrid(64))
+        first, second = _assert_warns_once_then_never(
+            "MultiBeamScheduler.execute",
+            lambda: scheduler.execute(2, duration_s=0.5),
+        )
+        assert first.complete
+        assert first.makespan_s == second.makespan_s

@@ -332,6 +332,32 @@ class TestScenarioInput:
         with pytest.raises(ValidationError, match="streaming"):
             request.resolve_mode()
 
+    def test_scenario_mode_error_names_modes_and_remedy(self, plan):
+        # The message must name the supported modes, the mode the
+        # request resolved to, and how to fix it — not just refuse.
+        from repro.scenarios import scenario_by_name
+
+        request = ExecutionRequest(
+            plan=plan,
+            scenario=scenario_by_name("noise_floor"),
+            mode="batched",
+        )
+        with pytest.raises(ValidationError) as excinfo:
+            request.resolve_mode()
+        message = str(excinfo.value)
+        assert "scenario= is only valid in streaming mode" in message
+        assert "kernel, batched, sharded, streaming" in message
+        assert "resolves to 'batched'" in message
+        assert "mode='streaming'" in message
+
+    def test_chunks_mode_error_names_modes(self, plan):
+        request = ExecutionRequest(plan=plan, chunks=(), mode="kernel")
+        with pytest.raises(ValidationError) as excinfo:
+            request.resolve_mode()
+        message = str(excinfo.value)
+        assert "chunks= is only valid in streaming mode" in message
+        assert "kernel, batched, sharded, streaming" in message
+
     def test_executes_realized_stream(self, plan, toy_grid):
         from repro.scenarios import scenario_by_name
 

@@ -186,11 +186,39 @@ class TestDDPlan:
 
 
 class TestSurvey:
-    def test_classifies_beams(self, capsys):
+    def test_runs_scenario_survey(self, capsys):
         assert main(["survey", "--beams", "2", "--chunks", "1"]) == 0
         out = capsys.readouterr().out
-        assert "survey:" in out
-        assert "classified correctly" in out
+        assert "survey: giant_pulse_train" in out
+        assert "coincidence:" in out
+        assert "recall" in out
+
+    def test_backend_both_runs_each_backend(self, capsys):
+        assert main(
+            ["survey", "--beams", "2", "--chunks", "1", "--backend", "both"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "(tiled backend)" in out
+        assert "(vectorized backend)" in out
+
+    def test_backend_both_rejects_a_ledger(self, capsys, tmp_path):
+        assert main(
+            [
+                "survey", "--backend", "both",
+                "--ledger", str(tmp_path / "s.jsonl"),
+            ]
+        ) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_ledger_crash_then_resume(self, capsys, tmp_path):
+        ledger = tmp_path / "survey.jsonl"
+        args = ["survey", "--beams", "4", "--scenario", "rfi_storm",
+                "--ledger", str(ledger)]
+        assert main(args + ["--crash-after", "2"]) == 2
+        assert "injected survey crash" in capsys.readouterr().err
+        assert main(args + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resumed" in out
 
 
 class TestExport:

@@ -79,6 +79,16 @@ PINNED: dict[str, tuple[str, tuple[str, ...]]] = {
         "repro/astro/source.py",
         ("data", "setup", "streams"),
     ),
+    # The PR-8 deprecation shims: the legacy survey entrypoints keep
+    # their exact signatures while delegating to repro.survey.legacy.
+    "SurveyPipeline.run": (
+        "repro/pipeline/survey.py",
+        ("n_chunks",),
+    ),
+    "MultiBeamScheduler.execute": (
+        "repro/pipeline/multibeam.py",
+        ("n_beams", "duration_s"),
+    ),
 }
 
 #: Spellings the redesign retired; none may reappear in an

@@ -36,6 +36,7 @@ FAMILY_PREFIXES = (
     "repro_search_",
     "repro_service_",
     "repro_sim_",
+    "repro_survey_",
     "repro_trace_",
     "repro_tune_",
     "repro_tuner_",
