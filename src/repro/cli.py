@@ -463,7 +463,9 @@ def _cmd_search(args: argparse.Namespace) -> int:
         ("tiled", "vectorized") if args.backend == "both" else (args.backend,)
     )
     config = SearchConfig(
-        snr_threshold=args.threshold, rfi_mitigation=args.rfi
+        snr_threshold=args.threshold,
+        rfi_mitigation=args.rfi,
+        fused=not args.staged,
     )
     print(plan.describe())
     print(f"injected pulsar at DM {true_dm:.2f} (trial {true_trial})")
@@ -474,6 +476,10 @@ def _cmd_search(args: argparse.Namespace) -> int:
             iter(chunks)
         )
         print(report.summary())
+        path = "staged" if args.staged else "fused"
+        print(
+            f"  peak working set [{path}]: {report.peak_bytes:,} bytes/chunk"
+        )
         best = report.best
         recovered = (
             best is not None
@@ -991,9 +997,15 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--device", default="HD7970")
     search.add_argument("--setup", default="apertif")
     search.add_argument(
-        "--backend", choices=["tiled", "vectorized", "auto", "both"],
+        "--backend",
+        choices=["tiled", "vectorized", "channel_tile", "auto", "both"],
         default="both",
         help="kernel executor(s); 'both' runs tiled then vectorized",
+    )
+    search.add_argument(
+        "--staged", action="store_true",
+        help="run the staged (materialise-the-plane) path instead of the "
+             "fused dedisperse→detect default, for comparison",
     )
     search.add_argument(
         "--dms", type=int, default=32, help="trial-DM count"

@@ -16,6 +16,8 @@ design decision of the kernel/tuner and quantifies its contribution:
 
 from __future__ import annotations
 
+import logging
+
 from repro.astro.dm_trials import DMTrialGrid
 from repro.astro.observation import apertif, lofar
 from repro.core.config import KernelConfiguration
@@ -28,8 +30,11 @@ from repro.experiments.base import (
     standard_devices,
     standard_setups,
 )
+from repro.errors import ReproError
 from repro.hardware.catalog import hd7970, xeon_phi_5110p, xeon_phi_5110p_openmp
 from repro.hardware.model import PerformanceModel
+
+logger = logging.getLogger(__name__)
 
 
 def run_ablation_staging(
@@ -151,7 +156,20 @@ def run_ablation_parameters(
                 try:
                     config = KernelConfiguration(**params)
                     metrics = model.simulate(config, validate=False)
-                except Exception:
+                except ReproError as error:
+                    # Perturbing one parameter off the tuned optimum can
+                    # leave the configuration infeasible for the device;
+                    # those cells are simply absent from the table.  Only
+                    # library errors mean "infeasible" — anything else
+                    # (a model bug, a typo) must propagate, not vanish.
+                    logger.debug(
+                        "ablation: skipping %s %s%s (%s): %s",
+                        axis,
+                        direction,
+                        factor,
+                        type(error).__name__,
+                        error,
+                    )
                     continue
                 rows.append(
                     (

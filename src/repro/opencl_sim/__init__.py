@@ -9,11 +9,13 @@ executor that performs the *same tiled decomposition* a work-group grid
 would — so the correctness of every point of the tuning space is testable
 against the sequential reference.
 
-Two executors implement each kernel (see
-:mod:`~repro.opencl_sim.backend`): the tiled reference and the
+Three executors implement each kernel (see
+:mod:`~repro.opencl_sim.backend`): the tiled reference, the
 bit-identical vectorized fast path of
-:mod:`~repro.opencl_sim.vectorized`, selected per launch via
-``backend="tiled"|"vectorized"|"auto"`` or ``$REPRO_KERNEL_BACKEND``.
+:mod:`~repro.opencl_sim.vectorized`, and the reuse-tiled channel-block
+path of :mod:`~repro.opencl_sim.channel_tile`, selected per launch via
+``backend="tiled"|"vectorized"|"channel_tile"|"auto"`` or
+``$REPRO_KERNEL_BACKEND``.
 """
 
 from repro.opencl_sim.backend import (
@@ -39,6 +41,11 @@ from repro.opencl_sim.batch import (
     execute_sharded,
 )
 from repro.opencl_sim.vectorized import accumulate_channels
+from repro.opencl_sim.channel_tile import (
+    accumulate_channel_tiles,
+    channel_blocks,
+    channel_spans,
+)
 
 __all__ = [
     "BACKEND_ENV_VAR",
@@ -46,6 +53,9 @@ __all__ = [
     "normalize_backend",
     "resolve_backend",
     "accumulate_channels",
+    "accumulate_channel_tiles",
+    "channel_blocks",
+    "channel_spans",
     "execute_sharded",
     "NDRange",
     "WorkGroup",

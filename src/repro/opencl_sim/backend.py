@@ -1,21 +1,26 @@
 """Kernel executor backend selection.
 
-Two functionally identical executors implement a configured kernel:
+Three functionally identical executors implement a configured kernel:
 
 * ``"tiled"`` — :class:`~repro.opencl_sim.kernel.DedispersionKernel`'s
   work-group replay of the generated OpenCL source, the reference the
   property tests trust;
-* ``"vectorized"`` — :mod:`repro.opencl_sim.vectorized`'s whole-array
+* ``"vectorized"`` — :mod:`~repro.opencl_sim.vectorized`'s whole-array
   fast path, bit-identical to the tiled executor (float32, exact
-  equality) because both accumulate channels in the same order.
+  equality) because both accumulate channels in the same order;
+* ``"channel_tile"`` — :mod:`~repro.opencl_sim.channel_tile`'s
+  reuse-tiled path: channels are staged in compact blocks sized off the
+  paper's Eq. 3 reuse span, bit-identical for the same reason.
 
 ``"auto"`` (the default everywhere) resolves the choice at launch time:
 the :envvar:`REPRO_KERNEL_BACKEND` environment variable pins a backend
-process-wide, and otherwise the heuristic picks the vectorized path for
-any launch the tiled executor would iterate more than one work-group
-over — the regime where its Python loops dominate.  An explicit
-``backend="tiled"``/``"vectorized"`` argument always wins over the
-environment.
+process-wide; otherwise the heuristic keeps the tiled reference for
+single-work-group launches (where its Python overhead is negligible),
+picks the reuse-tiled path when the launch's delay span says the
+working set is compact (``2 * reuse_span <= samples`` — the
+high-frequency, heavy-reuse Apertif regime), and the vectorized path
+for everything else.  An explicit ``backend=`` argument always wins
+over the environment.
 """
 
 from __future__ import annotations
@@ -25,7 +30,7 @@ import os
 from repro.errors import ValidationError
 
 #: The accepted values of every ``backend=`` parameter.
-KERNEL_BACKENDS = ("tiled", "vectorized", "auto")
+KERNEL_BACKENDS = ("tiled", "vectorized", "channel_tile", "auto")
 
 #: Environment variable pinning the backend for a whole process.
 BACKEND_ENV_VAR = "REPRO_KERNEL_BACKEND"
@@ -56,14 +61,25 @@ def backend_from_env() -> str | None:
     return None if value == "auto" else value
 
 
-def resolve_backend(backend: str | None, n_work_groups: int) -> str:
-    """The executor to run one launch with: ``"tiled"`` or ``"vectorized"``.
+def resolve_backend(
+    backend: str | None,
+    n_work_groups: int,
+    reuse_span: int | None = None,
+    samples: int | None = None,
+) -> str:
+    """The executor to run one launch with.
 
-    Resolution order: an explicit ``"tiled"``/``"vectorized"`` argument,
-    then the environment pin, then the size heuristic — the vectorized
-    path wins whenever the tiled executor would loop over more than one
-    work-group (its per-work-group Python overhead scales with the
-    launch, the vectorized path's does not).
+    Resolution order: an explicit argument, then the environment pin,
+    then the size heuristic.  The heuristic keeps the tiled reference
+    for single-work-group launches (its per-work-group Python overhead
+    only matters when it scales with the launch); for larger launches it
+    consults the launch's maximum per-channel delay span when the
+    caller supplies one (``reuse_span`` / ``samples``): a compact span
+    (``2 * reuse_span <= samples``) means the Eq. 3 working set fits a
+    staged block, so the reuse-tiled executor wins — the Apertif
+    regime — and otherwise the whole-stream vectorized path does — the
+    LOFAR regime, where spans dwarf the batch and staging would copy
+    most of the stream per block.
     """
     choice = normalize_backend(backend)
     if choice != "auto":
@@ -71,4 +87,12 @@ def resolve_backend(backend: str | None, n_work_groups: int) -> str:
     pinned = backend_from_env()
     if pinned is not None:
         return pinned
-    return "vectorized" if n_work_groups > 1 else "tiled"
+    if n_work_groups <= 1:
+        return "tiled"
+    if (
+        reuse_span is not None
+        and samples is not None
+        and 2 * reuse_span <= samples
+    ):
+        return "channel_tile"
+    return "vectorized"

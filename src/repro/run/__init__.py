@@ -4,6 +4,10 @@ One request type (:class:`ExecutionRequest`), one result type
 (:class:`ExecutionResult`), one call (:func:`execute`).  See
 :mod:`repro.run.facade` for the dispatch table and
 ``docs/api.md`` for the migration guide from the legacy entrypoints.
+
+The fused dedisperse→detect fast path lives in :mod:`repro.run.fused`
+(reached via ``detector=`` / ``mode="fused"`` requests); its
+deterministic peak-memory meter is :class:`repro.run.peak.MemoryAccount`.
 """
 
 from repro.run.facade import (
@@ -12,10 +16,15 @@ from repro.run.facade import (
     ExecutionResult,
     execute,
 )
+from repro.run.fused import FusedChunkResult, run_fused_chunk
+from repro.run.peak import MemoryAccount
 
 __all__ = [
     "EXECUTION_MODES",
     "ExecutionRequest",
     "ExecutionResult",
+    "FusedChunkResult",
+    "MemoryAccount",
     "execute",
+    "run_fused_chunk",
 ]

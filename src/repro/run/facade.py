@@ -24,6 +24,11 @@ mode           meaning
                work units, stitched bit-identically
 ``streaming``  a tuned plan driven over an iterable of
                :class:`~repro.astro.telescope.StreamChunk` objects
+``fused``      streaming, but each chunk is dedispersed and searched
+               slab-by-slab through a
+               :class:`~repro.search.detect.MatchedFilterDetector`
+               (``detector=``) without materialising the chunk's
+               DM×time plane — see :mod:`repro.run.fused`
 =============  ===========================================================
 
 ``mode="auto"`` (the default) infers the mode from what the request
@@ -51,7 +56,14 @@ from repro.errors import ValidationError
 from repro.obs import get_registry, span
 
 #: The accepted values of :attr:`ExecutionRequest.mode`.
-EXECUTION_MODES = ("auto", "kernel", "batched", "sharded", "streaming")
+EXECUTION_MODES = (
+    "auto",
+    "kernel",
+    "batched",
+    "sharded",
+    "streaming",
+    "fused",
+)
 
 
 @dataclass(frozen=True)
@@ -82,8 +94,18 @@ class ExecutionRequest:
     streamed exactly as if they had been passed via ``chunks=``.
     ``out``, when given, must be a float32 array of the output shape —
     the same contract every executor in the stack enforces.  ``backend``
-    selects the kernel executor (``"tiled"``/``"vectorized"``/``"auto"``,
+    selects the kernel executor
+    (``"tiled"``/``"vectorized"``/``"channel_tile"``/``"auto"``,
     ``None`` meaning auto) for every launch of the request.
+
+    ``detector`` — a
+    :class:`~repro.search.detect.MatchedFilterDetector` — turns a
+    chunked request into **fused** mode: each chunk is dedispersed and
+    searched one DM-tile slab at a time and only candidates are kept
+    (the result's ``output`` is ``None``; the per-chunk detail,
+    including metered ``peak_bytes``, is in ``chunk_results``).
+    ``dm_tile`` optionally pins the slab height (a multiple of the
+    configuration's ``tile_dms``; default ≈ one sixteenth of the grid).
     """
 
     data: np.ndarray | None = None
@@ -97,6 +119,8 @@ class ExecutionRequest:
     samples: int | None = None
     mode: str = "auto"
     backend: str | None = None
+    detector: Any = None
+    dm_tile: int | None = None
     out: np.ndarray | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
@@ -155,8 +179,9 @@ class ExecutionRequest:
         """The concrete mode this request runs in.
 
         An explicit mode is validated against the request's contents;
-        ``"auto"`` infers: chunks → streaming, shards → sharded, 3-D
-        input → batched, 2-D input → kernel.
+        ``"auto"`` infers: chunks + detector → fused, chunks →
+        streaming, shards → sharded, 3-D input → batched, 2-D input →
+        kernel.
         """
         inferred = self._infer_mode()
         if self.mode == "auto":
@@ -166,8 +191,9 @@ class ExecutionRequest:
 
     def _infer_mode(self) -> str:
         if self.chunks is not None or self.scenario is not None:
-            self._check_mode("streaming")
-            return "streaming"
+            mode = "fused" if self.detector is not None else "streaming"
+            self._check_mode(mode)
+            return mode
         if self.shards:
             self._check_mode("sharded")
             return "sharded"
@@ -190,36 +216,58 @@ class ExecutionRequest:
 
     def _check_mode(self, mode: str) -> None:
         """Raise when the request's contents contradict ``mode``."""
-        if mode == "streaming":
+        if mode not in ("fused",):
+            if self.detector is not None and mode != "streaming":
+                raise ValidationError(
+                    "detector= is only valid in fused mode (a chunked "
+                    f"request with a detector), but this request "
+                    f"resolves to {mode!r} mode"
+                )
+            if self.dm_tile is not None:
+                raise ValidationError(
+                    "dm_tile= is only valid in fused mode (it sizes the "
+                    "fused path's DM slabs)"
+                )
+        if mode in ("streaming", "fused"):
             if self.chunks is None and self.scenario is None:
                 raise ValidationError(
-                    "streaming mode requires chunks= or scenario="
+                    f"{mode} mode requires chunks= or scenario="
                 )
             if self.plan is None:
                 raise ValidationError(
-                    "streaming mode requires plan= (a tuned "
+                    f"{mode} mode requires plan= (a tuned "
                     "DedispersionPlan supplies the kernel and overlap)"
                 )
             if self.data is not None:
                 raise ValidationError(
-                    "streaming mode takes its input from chunks= or "
+                    f"{mode} mode takes its input from chunks= or "
                     "scenario=, not data="
                 )
             if self.out is not None:
                 raise ValidationError(
-                    "streaming mode allocates per-chunk outputs; out= is "
+                    f"{mode} mode allocates per-chunk outputs; out= is "
                     "not supported"
+                )
+            if mode == "fused" and self.detector is None:
+                raise ValidationError(
+                    "fused mode requires detector= (a "
+                    "MatchedFilterDetector to fold each slab through)"
+                )
+            if mode == "streaming" and self.detector is not None:
+                raise ValidationError(
+                    "detector= turns a chunked request into fused mode; "
+                    "drop mode='streaming' (or use mode='fused')"
                 )
             return
         if self.chunks is not None:
             raise ValidationError(
-                f"chunks= is only valid in streaming mode "
+                f"chunks= is only valid in streaming or fused mode "
                 f"(of {', '.join(m for m in EXECUTION_MODES if m != 'auto')}), "
                 f"but this request resolves to {mode!r} mode"
             )
         if self.scenario is not None:
             raise ValidationError(
-                f"scenario= is only valid in streaming mode "
+                f"scenario= is only valid in streaming or fused mode "
                 f"(of {', '.join(m for m in EXECUTION_MODES if m != 'auto')}), "
                 f"but this request resolves to {mode!r} mode; pass "
                 f"plan= and drop mode={mode!r} (or use mode='streaming') "
@@ -256,10 +304,14 @@ class ExecutionResult:
     and the time-concatenated ``(n_dms, total_samples)`` matrix for
     streaming mode (chunk overlap makes the concatenation bit-identical
     to dedispersing the whole stream at once; the per-chunk detail is in
-    ``chunk_results``).
+    ``chunk_results``).  Fused mode never materialises the plane —
+    ``output`` is ``None`` and the per-chunk
+    :class:`~repro.run.fused.FusedChunkResult` entries of
+    ``chunk_results`` carry the candidates and metered ``peak_bytes``
+    instead.
     """
 
-    output: np.ndarray
+    output: np.ndarray | None
     mode: str
     backend: str
     seconds: float
@@ -273,7 +325,29 @@ class ExecutionResult:
     @property
     def n_dms(self) -> int:
         """Trial-DM count of the output."""
+        if self.output is None:
+            raise ValidationError(
+                "a fused-mode result has no output plane; read the "
+                "candidates off chunk_results instead"
+            )
         return self.output.shape[-2]
+
+    @property
+    def candidates(self) -> tuple:
+        """Every candidate of a fused request, across all chunks."""
+        return tuple(
+            candidate
+            for chunk in self.chunk_results
+            for candidate in getattr(chunk, "candidates", ())
+        )
+
+    @property
+    def peak_bytes(self) -> int:
+        """Largest metered per-chunk working set of a fused request."""
+        return max(
+            (getattr(chunk, "peak_bytes", 0) for chunk in self.chunk_results),
+            default=0,
+        )
 
 
 # ----------------------------------------------------------------------
@@ -439,9 +513,35 @@ def _run_streaming(request: ExecutionRequest):
     return output, len(results), results, extras
 
 
+def _run_fused(request: ExecutionRequest):
+    from repro.run.fused import run_fused_chunk
+
+    extras: dict = {}
+    chunks = request.chunks
+    if request.scenario is not None:
+        realized = _resolve_scenario(request)
+        extras["scenario"] = realized
+        chunks = realized.chunks
+    results = tuple(
+        run_fused_chunk(
+            request.plan,
+            chunk,
+            request.detector,
+            backend=request.backend,
+            dm_tile=request.dm_tile,
+        )
+        for chunk in chunks
+    )
+    if not results:
+        raise ValidationError("fused request carried no chunks")
+    launches = sum(r.launches for r in results)
+    return None, launches, results, extras
+
+
 _RUNNERS = {
     "kernel": _run_kernel,
     "batched": _run_batched,
     "sharded": _run_sharded,
     "streaming": _run_streaming,
+    "fused": _run_fused,
 }

@@ -1,0 +1,199 @@
+"""Fused dedisperse→detect execution of one stream chunk.
+
+The staged streaming path materialises each chunk's full ``(n_dms,
+samples)`` dedispersion plane, hands it to the detector, and lets the
+detector build its own float64 copy — three plane-scale arrays alive at
+once before a single S/N is computed.  At Apertif scale that working set
+is what decides whether a beam fits on a node, not arithmetic.
+
+This module fuses the two stages instead: the chunk is dedispersed one
+*DM-tile slab* at a time, and each freshly-computed slab is folded
+through :meth:`~repro.search.detect.MatchedFilterDetector.detect_slabs`
+and dropped before the next is produced.  The candidate list is
+bit-identical to the staged path (dedispersion is independent per DM
+row; every detector statistic is row-local), but the peak working set is
+one slab's, not the plane's.
+
+Slabs are cut along the trial-DM axis in multiples of the
+configuration's ``tile_dms`` — the NDRange of
+:mod:`repro.opencl_sim.ndrange` requires exact work-group tiling, and
+every plan's DM grid is already a whole number of tiles, so any
+tile-multiple slab size launches cleanly.
+
+Peak working-set bytes are metered by a
+:class:`~repro.run.peak.MemoryAccount` with the same charging rules the
+staged path uses, land in :attr:`FusedChunkResult.peak_bytes`, and are
+exported as the ``repro_run_peak_bytes{path="fused"}`` histogram; each
+chunk also counts toward ``repro_pipeline_chunks_total`` exactly as the
+staged pipeline's chunks do, since a fused chunk is the same pipeline
+stage.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.errors import PipelineError, ValidationError
+from repro.obs import get_registry, span
+from repro.run.peak import MemoryAccount
+
+
+@dataclass(frozen=True)
+class FusedChunkResult:
+    """What fusing dedispersion and detection over one chunk produced.
+
+    Unlike :class:`~repro.pipeline.streaming.ChunkResult` there is no
+    ``output`` plane — not materialising it is the point.  The chunk's
+    contribution to the search is its ``candidates`` (already shifted
+    onto the global stream timeline and labelled with the beam);
+    ``peak_bytes`` is the metered high-water working set of the fused
+    dedisperse→detect pass; ``launches`` counts the per-slab kernel
+    launches.  ``simulated_seconds`` / ``realtime`` carry the same
+    modelled dedispersion cost the staged pipeline reports, and
+    ``detect_seconds`` the measured detection wall time, so the
+    streaming search's virtual clock works identically on both paths.
+    """
+
+    beam_index: int
+    sequence: int
+    candidates: tuple
+    simulated_seconds: float
+    detect_seconds: float
+    peak_bytes: int
+    launches: int
+    realtime: bool
+
+
+def resolve_dm_tile(n_dms: int, tile_dms: int, dm_tile: int | None) -> int:
+    """The slab height (trial DMs) a fused pass cuts the grid into.
+
+    Must be a positive multiple of the configuration's ``tile_dms`` so
+    every slab launches with exact work-group tiling.  The default aims
+    for roughly sixteen slabs — small enough that the slab working set
+    is a fraction of the plane's, large enough that per-slab Python and
+    launch overhead stays negligible — rounded up to a tile multiple.
+    """
+    if dm_tile is None:
+        target = max(1, -(-n_dms // 16))
+        return tile_dms * max(1, -(-target // tile_dms))
+    tile = int(dm_tile)
+    if tile <= 0 or tile % tile_dms != 0:
+        raise ValidationError(
+            f"dm_tile must be a positive multiple of the configuration's "
+            f"tile_dms={tile_dms}, got {dm_tile}"
+        )
+    return tile
+
+
+def run_fused_chunk(
+    plan,
+    chunk,
+    detector,
+    backend: str | None = None,
+    dm_tile: int | None = None,
+) -> FusedChunkResult:
+    """Dedisperse and detect one stream chunk slab-by-slab.
+
+    ``plan`` is a tuned :class:`~repro.core.plan.DedispersionPlan`,
+    ``chunk`` a :class:`~repro.astro.telescope.StreamChunk` whose payload
+    matches the plan's batch, ``detector`` a
+    :class:`~repro.search.detect.MatchedFilterDetector`.  Chunk
+    validation is identical to the staged pipeline's: payload length
+    must equal the plan batch and the overlap must cover the plan's
+    maximum delay, checked per chunk so a misconfigured front-end fails
+    loudly.
+    """
+    if chunk.samples != plan.samples:
+        raise PipelineError(
+            f"chunk payload of {chunk.samples} samples does not match "
+            f"the plan batch of {plan.samples}"
+        )
+    max_delay = int(plan.delays.max(initial=0))
+    if chunk.overlap < max_delay:
+        raise PipelineError(
+            f"chunk overlap {chunk.overlap} < required maximum delay "
+            f"{max_delay}"
+        )
+    n_dms = plan.delays.shape[0]
+    tile = resolve_dm_tile(n_dms, plan.config.tile_dms, dm_tile)
+    account = MemoryAccount()
+    launches = 0
+    produce_s = 0.0
+
+    def slabs():
+        """Yield float32 DM-tile slabs, each dropped before the next."""
+        nonlocal launches, produce_s
+        for d0 in range(0, n_dms, tile):
+            start = time.perf_counter()
+            slab = plan.kernel._execute(
+                chunk.data, plan.delays[d0 : d0 + tile], backend=backend
+            )
+            produce_s += time.perf_counter() - start
+            launches += 1
+            account.charge(slab.nbytes)
+            yield slab
+            account.release(slab.nbytes)
+
+    labels = {"device": plan.device.name, "setup": plan.setup.name}
+    with span(
+        "run.fused_chunk",
+        beam=chunk.beam_index,
+        sequence=chunk.sequence,
+        **labels,
+    ):
+        start = time.perf_counter()
+        candidates = detector.detect_slabs(
+            slabs(),
+            plan.grid.values,
+            time_offset=chunk.sequence * plan.samples,
+            beam=chunk.beam_index,
+            account=account,
+        )
+        detect_s = time.perf_counter() - start - produce_s
+
+    seconds = plan.predict().seconds
+    chunk_seconds = plan.samples / plan.setup.samples_per_second
+    registry = get_registry()
+    registry.counter("repro_pipeline_chunks_total", **labels).inc()
+    if seconds > 0.0:
+        registry.gauge(
+            "repro_pipeline_realtime_margin", stage="fused", **labels
+        ).set(chunk_seconds / seconds)
+    registry.histogram("repro_run_peak_bytes", path="fused").observe(
+        float(account.peak_bytes)
+    )
+    return FusedChunkResult(
+        beam_index=chunk.beam_index,
+        sequence=chunk.sequence,
+        candidates=tuple(candidates),
+        simulated_seconds=seconds,
+        detect_seconds=max(detect_s, 0.0),
+        peak_bytes=account.peak_bytes,
+        launches=launches,
+        realtime=seconds <= chunk_seconds,
+    )
+
+
+def staged_peak_bytes(n_dms: int, samples: int) -> int:
+    """The staged path's *modelled* plane-scale peak, for comparison.
+
+    float32 kernel plane + the detector's float64 plane, centred copy
+    and cumulative sum, plus one width's boxcar sums and S/N — the
+    arrays a staged chunk holds live simultaneously under the same
+    accounting rules the fused path meters.  ``bench_fused.py`` prints
+    the measured number; this closed form documents where it comes from.
+    """
+    f32 = 4 * n_dms * samples
+    f64 = 8 * n_dms * samples
+    csum = 8 * n_dms * (samples + 1)
+    per_width = 2 * 8 * n_dms * samples  # sums + snr (width-1 bound)
+    return f32 + f64 + f64 + csum + per_width
+
+
+__all__ = [
+    "FusedChunkResult",
+    "resolve_dm_tile",
+    "run_fused_chunk",
+    "staged_peak_bytes",
+]

@@ -15,6 +15,17 @@ The numbers are the point, not just the speed: for any width,
 ``repro.astro.snr.boxcar_snr(plane[i], w)`` exactly (same float64
 median/MAD normalisation, same cumulative-sum filter), so the detector
 inherits the scalar path's test oracle.
+
+Every per-row statistic here — median/MAD, the centred cumulative sum,
+the per-width S/N — depends on that row alone, so the plane can be
+processed in DM-tile *slabs* without changing a single bit of the
+result.  :meth:`MatchedFilterDetector.detect_slabs` is that spelling:
+the fused execution path of :mod:`repro.run.fused` feeds it
+freshly-dedispersed DM tiles one at a time, so the full ``(n_dms,
+samples)`` plane never exists in memory.  An optional
+:class:`~repro.run.peak.MemoryAccount` meters the working set either
+way, which is where the ``peak_bytes`` numbers of
+``benchmarks/bench_fused.py`` come from.
 """
 
 from __future__ import annotations
@@ -25,6 +36,7 @@ import numpy as np
 
 from repro.astro.candidates import Candidate
 from repro.errors import ValidationError
+from repro.run.peak import charge, release, transient
 from repro.utils.intmath import powers_of_two
 from repro.utils.validation import require_positive
 
@@ -33,7 +45,9 @@ from repro.utils.validation import require_positive
 DEFAULT_WIDTHS = (1, 2, 4, 8, 16, 32)
 
 
-def _robust_stats_rows(plane: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+def _robust_stats_rows(
+    plane: np.ndarray, account=None
+) -> tuple[np.ndarray, np.ndarray]:
     """Per-row median / MAD ``(mean, sigma)``, row-vectorized.
 
     Mirrors :func:`repro.astro.snr._robust_stats` exactly, including the
@@ -42,7 +56,10 @@ def _robust_stats_rows(plane: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     to 1.0 (so constant rows yield zero S/N instead of NaN).
     """
     median = np.median(plane, axis=1, keepdims=True)
-    mad = np.median(np.abs(plane - median), axis=1)
+    with transient(account, 2 * plane.nbytes):
+        # (plane - median) and its absolute value both live while the
+        # row medians of the deviations are taken.
+        mad = np.median(np.abs(plane - median), axis=1)
     sigma = 1.4826 * mad
     flat = mad <= 0
     if flat.any():
@@ -53,29 +70,38 @@ def _robust_stats_rows(plane: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
 
 
 def _centred_cumsum(
-    plane: np.ndarray,
+    plane: np.ndarray, account=None
 ) -> tuple[np.ndarray, np.ndarray]:
     """Zero-prefixed cumulative sum of the mean-centred rows, plus sigma.
 
     The robust statistics and the cumulative sum are width-independent,
     so the detector computes them once and reuses them across the whole
     boxcar bank — the dominant cost of the scalar path is exactly this
-    recomputation per width.
+    recomputation per width.  ``plane`` may be the full DM×time plane or
+    any DM-tile slab of it: every row is normalised against itself, so
+    the result is identical either way.
     """
-    mean, sigma = _robust_stats_rows(plane)
-    centred = plane - mean[:, None]
-    csum = np.concatenate(
-        (np.zeros((plane.shape[0], 1)), np.cumsum(centred, axis=1)), axis=1
+    mean, sigma = _robust_stats_rows(plane, account)
+    centred = charge(account, plane - mean[:, None])
+    csum = charge(
+        account,
+        np.concatenate(
+            (np.zeros((plane.shape[0], 1)), np.cumsum(centred, axis=1)),
+            axis=1,
+        ),
     )
+    release(account, centred)
     return csum, sigma
 
 
 def _snr_from_cumsum(
-    csum: np.ndarray, sigma: np.ndarray, width: int
+    csum: np.ndarray, sigma: np.ndarray, width: int, account=None
 ) -> np.ndarray:
     """Boxcar S/N for one width from the precomputed cumulative sum."""
-    sums = csum[:, width:] - csum[:, :-width]
-    return sums / (sigma[:, None] * np.sqrt(width))
+    sums = charge(account, csum[:, width:] - csum[:, :-width])
+    snr = charge(account, sums / (sigma[:, None] * np.sqrt(width)))
+    release(account, sums)
+    return snr
 
 
 def boxcar_snr_plane(dedispersed: np.ndarray, width: int) -> np.ndarray:
@@ -100,12 +126,18 @@ def boxcar_snr_plane(dedispersed: np.ndarray, width: int) -> np.ndarray:
 class MatchedFilterDetector:
     """A boxcar matched-filter bank over the DM×time plane.
 
-    ``widths`` is the boxcar bank (samples; widths wider than the plane
-    are skipped); ``snr_threshold`` the detection floor.  Following
+    ``widths`` is the boxcar bank (samples); ``snr_threshold`` the
+    detection floor.  Following
     :func:`repro.astro.candidates.find_candidates`, the detector reports
     at most one candidate per DM trial — the trial's best (width,
     offset) match — which keeps the raw list linear in trials and is
     exactly the shape the sifter downstream expects.
+
+    A bank is only meaningful if at least one width fits the plane:
+    widths wider than the plane are skipped individually, but a bank
+    in which *every* width is wider raises :class:`ValidationError`
+    instead of silently detecting nothing — a misconfigured detector
+    must fail loudly, not report an empty sky.
     """
 
     snr_threshold: float = 6.0
@@ -137,6 +169,15 @@ class MatchedFilterDetector:
         )
 
     # ------------------------------------------------------------------
+    def _check_bank(self, samples: int) -> None:
+        """Reject a plane narrower than every width of the bank."""
+        if all(width > samples for width in self.widths):
+            raise ValidationError(
+                f"every boxcar width of the bank {self.widths} is wider "
+                f"than the {samples}-sample plane; detection would "
+                f"silently find nothing"
+            )
+
     def best_per_trial(
         self, dedispersed: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -144,45 +185,47 @@ class MatchedFilterDetector:
         plane = np.asarray(dedispersed, dtype=np.float64)
         if plane.ndim != 2:
             raise ValidationError("dedispersed must be (n_dms, samples)")
-        n_dms, samples = plane.shape
-        best_snr = np.full(n_dms, -np.inf)
-        best_width = np.ones(n_dms, dtype=np.int64)
-        best_offset = np.zeros(n_dms, dtype=np.int64)
-        csum, sigma = _centred_cumsum(plane)
+        return self._best_of_slab(plane)
+
+    def _best_of_slab(
+        self, plane: np.ndarray, account=None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The bank's best per row of one float64 ``(rows, samples)`` slab.
+
+        Row statistics are row-local, so running this over DM-tile
+        slabs and concatenating gives bit-identical results to one
+        whole-plane call — the property the fused path rests on.
+        """
+        n_rows, samples = plane.shape
+        self._check_bank(samples)
+        best_snr = np.full(n_rows, -np.inf)
+        best_width = np.ones(n_rows, dtype=np.int64)
+        best_offset = np.zeros(n_rows, dtype=np.int64)
+        csum, sigma = _centred_cumsum(plane, account)
         for width in self.widths:
             if width > samples:
                 continue
-            snr = _snr_from_cumsum(csum, sigma, width)
+            snr = _snr_from_cumsum(csum, sigma, width, account)
             offsets = np.argmax(snr, axis=1)
-            peaks = snr[np.arange(n_dms), offsets]
+            peaks = snr[np.arange(n_rows), offsets]
+            release(account, snr)
             better = peaks > best_snr
             best_snr[better] = peaks[better]
             best_width[better] = width
             best_offset[better] = offsets[better]
+        release(account, csum)
         return best_snr, best_width, best_offset
 
-    def detect(
+    def _candidates(
         self,
-        dedispersed: np.ndarray,
+        snrs: np.ndarray,
+        widths: np.ndarray,
+        offsets: np.ndarray,
         dms: np.ndarray,
-        time_offset: int = 0,
-        beam: int = 0,
+        time_offset: int,
+        beam: int,
     ) -> list[Candidate]:
-        """Super-threshold candidates of one ``(n_dms, samples)`` plane.
-
-        ``time_offset`` shifts every reported ``time_sample`` into a
-        global stream timeline (the chunk's first output sample), so
-        per-chunk detections from a stream can be sifted together.
-        ``beam`` labels every candidate with its telescope beam so
-        multi-beam consumers keep provenance through sifting.
-        """
-        dedispersed = np.asarray(dedispersed)
-        if dedispersed.ndim != 2 or dedispersed.shape[0] != len(dms):
-            raise ValidationError(
-                "dedispersed must be (n_dms, samples) with one row per "
-                "trial DM"
-            )
-        snrs, widths, offsets = self.best_per_trial(dedispersed)
+        """Threshold the per-trial best arrays into the candidate list."""
         hits = np.flatnonzero(snrs >= self.snr_threshold)
         return [
             Candidate(
@@ -195,3 +238,81 @@ class MatchedFilterDetector:
             )
             for i in hits
         ]
+
+    def detect(
+        self,
+        dedispersed: np.ndarray,
+        dms: np.ndarray,
+        time_offset: int = 0,
+        beam: int = 0,
+        account=None,
+    ) -> list[Candidate]:
+        """Super-threshold candidates of one ``(n_dms, samples)`` plane.
+
+        ``time_offset`` shifts every reported ``time_sample`` into a
+        global stream timeline (the chunk's first output sample), so
+        per-chunk detections from a stream can be sifted together.
+        ``beam`` labels every candidate with its telescope beam so
+        multi-beam consumers keep provenance through sifting.
+
+        The input is converted to float64 exactly once; every
+        downstream stage works on that one plane (the pre-facade
+        spelling converted a second time inside
+        :meth:`best_per_trial`, doubling the peak working set for
+        float32 kernel output).  ``account``, when given, meters the
+        detection working set (see :mod:`repro.run.peak`).
+        """
+        plane = charge(
+            account, np.asarray(dedispersed, dtype=np.float64)
+        )
+        if plane.ndim != 2 or plane.shape[0] != len(dms):
+            raise ValidationError(
+                "dedispersed must be (n_dms, samples) with one row per "
+                "trial DM"
+            )
+        snrs, widths, offsets = self._best_of_slab(plane, account)
+        release(account, plane)
+        return self._candidates(
+            snrs, widths, offsets, dms, time_offset, beam
+        )
+
+    def detect_slabs(
+        self,
+        slabs,
+        dms: np.ndarray,
+        time_offset: int = 0,
+        beam: int = 0,
+        account=None,
+    ) -> list[Candidate]:
+        """:meth:`detect`, fed DM-tile slabs instead of a whole plane.
+
+        ``slabs`` yields consecutive ``(rows_i, samples)`` arrays
+        covering the trial axis in order (``sum(rows_i) == len(dms)``).
+        Each slab is converted to float64, folded through the bank, and
+        dropped before the next one is requested, so the peak working
+        set is one slab's — not the plane's.  The candidate list is
+        bit-identical to a whole-plane :meth:`detect` because every
+        per-row statistic is row-local.
+        """
+        parts: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        rows_seen = 0
+        for slab in slabs:
+            plane = charge(account, np.asarray(slab, dtype=np.float64))
+            if plane.ndim != 2:
+                raise ValidationError(
+                    "every slab must be 2-D (rows, samples)"
+                )
+            parts.append(self._best_of_slab(plane, account))
+            rows_seen += plane.shape[0]
+            release(account, plane)
+        if rows_seen != len(dms):
+            raise ValidationError(
+                f"slabs covered {rows_seen} trial rows; the DM grid has "
+                f"{len(dms)}"
+            )
+        snrs = np.concatenate([p[0] for p in parts])
+        widths = np.concatenate([p[1] for p in parts])
+        offsets = np.concatenate([p[2] for p in parts])
+        return self._candidates(
+            snrs, widths, offsets, dms, time_offset, beam
+        )

@@ -6,6 +6,15 @@ facade, matched-filtered by :class:`~repro.search.detect.MatchedFilterDetector`,
 and the pooled detections are sifted once at the end of the stream (so a
 pulse straddling a chunk boundary dedupes correctly).
 
+By default each chunk runs the facade's **fused** mode
+(:mod:`repro.run.fused`): dedispersion and detection interleave over
+DM-tile slabs, so the chunk's full DM×time plane never exists in memory
+and every chunk record carries the metered ``peak_bytes`` of its working
+set.  ``SearchConfig(fused=False)`` restores the staged
+dedisperse-everything-then-detect path; both produce bit-identical
+candidate lists (the detector's statistics are row-local), which
+``benchmarks/bench_fused.py`` and the scenario regression goldens pin.
+
 Real time is modelled the way :mod:`repro.sched` models it — on a
 virtual clock, so runs are deterministic and laptop-speed-independent
 where it matters:
@@ -41,6 +50,7 @@ from repro.astro.telescope import StreamChunk
 from repro.core.plan import DedispersionPlan
 from repro.errors import PipelineError
 from repro.obs import get_registry, span
+from repro.run.peak import MemoryAccount
 from repro.search.detect import DEFAULT_WIDTHS, MatchedFilterDetector
 from repro.search.sift import SiftPolicy, SiftResult, sift_candidates
 from repro.utils.validation import (
@@ -67,6 +77,12 @@ class SearchConfig:
     zero in production; tests and capacity studies raise it to emulate a
     slower device and drive the queue into backpressure
     deterministically.
+
+    ``fused`` selects the fused dedisperse→detect fast path (the
+    default): each chunk is searched slab-by-slab without materialising
+    its DM×time plane.  ``fused=False`` runs the staged path instead —
+    candidates are bit-identical either way; only the peak working set
+    (and the ``repro_run_peak_bytes{path=...}`` label) differs.
     """
 
     snr_threshold: float = 6.0
@@ -76,6 +92,7 @@ class SearchConfig:
     queue_capacity: int = 4
     deadline_factor: float = 1.0
     min_service_seconds: float = 0.0
+    fused: bool = True
 
     def __post_init__(self) -> None:
         require_positive_int(self.queue_capacity, "queue_capacity")
@@ -94,6 +111,9 @@ class ChunkRecord:
     finish_s: float = 0.0
     service_s: float = 0.0
     n_raw: int = 0
+    #: Metered high-water working-set bytes of the chunk's
+    #: dedisperse→detect pass (0 for dropped chunks).
+    peak_bytes: int = 0
 
     @property
     def lag_s(self) -> float:
@@ -146,9 +166,25 @@ class SearchReport:
         return self.result.accepted[0] if self.result.accepted else None
 
     @property
+    def peak_bytes(self) -> int:
+        """Largest metered per-chunk working set of the run."""
+        return max((r.peak_bytes for r in self.records), default=0)
+
+    @property
     def makespan_s(self) -> float:
-        """Virtual time the last processed chunk finished."""
-        return max((r.finish_s for r in self.records if not r.dropped), default=0.0)
+        """Virtual time the search was done with the stream.
+
+        Covers *every* chunk's disposition: a processed chunk is done
+        when its service finishes, a dropped chunk when backpressure
+        sheds it at arrival.  (A stream whose final chunks are all shed
+        therefore ends at their arrival time, not at the last processed
+        chunk's finish — the earlier spelling ignored drops and
+        underreported exactly that case.)
+        """
+        return max(
+            (r.arrival_s if r.dropped else r.finish_s for r in self.records),
+            default=0.0,
+        )
 
     @property
     def degraded(self) -> bool:
@@ -157,14 +193,33 @@ class SearchReport:
 
     @property
     def realtime_sustained(self) -> bool:
-        """No drops and every chunk inside its deadline."""
-        return not self.degraded and all(
-            r.met_deadline(self.deadline_seconds) for r in self.records
+        """At least one chunk processed, no drops, every deadline met.
+
+        Explicitly ``False`` for an empty record set — ``all()`` of
+        nothing is vacuously true, and an early spelling let a report
+        with no chunks at all claim real-time performance.
+        """
+        return (
+            bool(self.records)
+            and not self.degraded
+            and all(
+                r.met_deadline(self.deadline_seconds) for r in self.records
+            )
         )
 
     @property
     def verdict(self) -> str:
-        """``realtime_sustained`` | ``complete`` | ``degraded``."""
+        """``realtime_sustained`` | ``complete`` | ``degraded`` | ``empty``.
+
+        ``empty`` is the no-chunks verdict: a report built over zero
+        records proves nothing about real-time behaviour, so it gets its
+        own verdict instead of vacuously claiming
+        ``realtime_sustained``.  (:meth:`StreamingSearch.run` raises on
+        an empty stream; the verdict matters for reports assembled or
+        replayed elsewhere.)
+        """
+        if not self.records:
+            return "empty"
         if self.degraded:
             return "degraded"
         if self.realtime_sustained:
@@ -317,28 +372,54 @@ class StreamingSearch:
                     "search.chunk", sequence=chunk.sequence, **labels
                 ):
                     prepared = self._prepare(chunk)
-                    result = execute(
-                        ExecutionRequest(
-                            plan=self.plan,
-                            chunks=(prepared,),
-                            backend=self.backend,
+                    if self.config.fused:
+                        result = execute(
+                            ExecutionRequest(
+                                plan=self.plan,
+                                chunks=(prepared,),
+                                backend=self.backend,
+                                detector=self.detector,
+                            )
                         )
-                    )
-                    resolved_backend = result.backend
-                    dedisp_seconds = result.chunk_results[
-                        0
-                    ].simulated_seconds
-                    detect_start = time.perf_counter()
-                    with span(
-                        "search.detect", sequence=chunk.sequence, **labels
-                    ):
-                        found = self.detector.detect(
-                            result.output,
-                            self.plan.grid.values,
-                            time_offset=chunk.sequence * self.plan.samples,
-                            beam=chunk.beam_index,
+                        resolved_backend = result.backend
+                        fused_chunk = result.chunk_results[0]
+                        dedisp_seconds = fused_chunk.simulated_seconds
+                        detect_seconds = fused_chunk.detect_seconds
+                        found = list(fused_chunk.candidates)
+                        peak_bytes = fused_chunk.peak_bytes
+                    else:
+                        result = execute(
+                            ExecutionRequest(
+                                plan=self.plan,
+                                chunks=(prepared,),
+                                backend=self.backend,
+                            )
                         )
-                    detect_seconds = time.perf_counter() - detect_start
+                        resolved_backend = result.backend
+                        dedisp_seconds = result.chunk_results[
+                            0
+                        ].simulated_seconds
+                        account = MemoryAccount()
+                        account.charge(result.output.nbytes)
+                        detect_start = time.perf_counter()
+                        with span(
+                            "search.detect",
+                            sequence=chunk.sequence,
+                            **labels,
+                        ):
+                            found = self.detector.detect(
+                                result.output,
+                                self.plan.grid.values,
+                                time_offset=chunk.sequence
+                                * self.plan.samples,
+                                beam=chunk.beam_index,
+                                account=account,
+                            )
+                        detect_seconds = time.perf_counter() - detect_start
+                        peak_bytes = account.peak_bytes
+                        registry.histogram(
+                            "repro_run_peak_bytes", path="staged"
+                        ).observe(float(peak_bytes))
                     raw.extend(found)
 
                 service = max(
@@ -356,6 +437,7 @@ class StreamingSearch:
                     finish_s=busy_until,
                     service_s=service,
                     n_raw=len(found),
+                    peak_bytes=peak_bytes,
                 )
                 records.append(record)
                 registry.counter(

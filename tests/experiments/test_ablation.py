@@ -116,3 +116,26 @@ class TestQuantizationAblation:
         assert gains[("LOFAR", "HD7970")] > 1.5
         # Nothing ever loses from narrower input.
         assert all(g >= 0.999 for g in gains.values())
+
+
+class TestErrorSuppression:
+    def test_infeasible_configs_are_skipped(self, caplog):
+        import logging
+
+        with caplog.at_level(logging.DEBUG, logger="repro.experiments.ablation"):
+            result = run_ablation_parameters(n_dms=N_DMS)
+        # Perturbations off the optimum that the library rejects are
+        # simply absent rows, each one logged.
+        assert result.rows
+
+    def test_unexpected_errors_propagate(self, monkeypatch):
+        # Only library (ReproError) failures mean "infeasible"; a model
+        # bug must not vanish into a skipped table row.
+        from repro.hardware.model import PerformanceModel
+
+        def boom(self, config, samples=None, validate=True):
+            raise RuntimeError("model bug")
+
+        monkeypatch.setattr(PerformanceModel, "simulate", boom)
+        with pytest.raises(RuntimeError, match="model bug"):
+            run_ablation_parameters(n_dms=N_DMS)

@@ -82,7 +82,7 @@ class TestRequestValidation:
 class TestModeResolution:
     def test_modes_tuple_is_closed(self):
         assert EXECUTION_MODES == (
-            "auto", "kernel", "batched", "sharded", "streaming"
+            "auto", "kernel", "batched", "sharded", "streaming", "fused"
         )
 
     def test_2d_infers_kernel(self, kernel, table, data):
@@ -345,8 +345,8 @@ class TestScenarioInput:
         with pytest.raises(ValidationError) as excinfo:
             request.resolve_mode()
         message = str(excinfo.value)
-        assert "scenario= is only valid in streaming mode" in message
-        assert "kernel, batched, sharded, streaming" in message
+        assert "scenario= is only valid in streaming or fused mode" in message
+        assert "kernel, batched, sharded, streaming, fused" in message
         assert "resolves to 'batched'" in message
         assert "mode='streaming'" in message
 
@@ -355,8 +355,8 @@ class TestScenarioInput:
         with pytest.raises(ValidationError) as excinfo:
             request.resolve_mode()
         message = str(excinfo.value)
-        assert "chunks= is only valid in streaming mode" in message
-        assert "kernel, batched, sharded, streaming" in message
+        assert "chunks= is only valid in streaming or fused mode" in message
+        assert "kernel, batched, sharded, streaming, fused" in message
 
     def test_executes_realized_stream(self, plan, toy_grid):
         from repro.scenarios import scenario_by_name

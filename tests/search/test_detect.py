@@ -114,3 +114,100 @@ class TestDetection:
         detector = MatchedFilterDetector()
         with pytest.raises(ValidationError, match="n_dms"):
             detector.detect(plane, np.arange(5, dtype=np.float64))
+
+
+class TestTieBreaking:
+    def test_equal_snr_ties_break_to_smaller_width_like_scalar(self):
+        # An exact float64 tie: a lone spike of 4 gives the width-1
+        # filter sum 4 -> S/N 4/sigma; four 2's give the width-4 filter
+        # sum 8 -> S/N 8/(2*sigma), and 8/(2*sigma) == 4/sigma exactly
+        # in IEEE arithmetic (the divisor differs by a power of two).
+        # Both scanners walk widths ascending with a strict >, so the
+        # smaller width must win in both.
+        row = np.zeros(256, dtype=np.float64)
+        row[10] = 4.0
+        row[50:54] = 2.0
+        snr1 = boxcar_snr(row, 1)
+        snr4 = boxcar_snr(row, 4)
+        assert snr1[10] == snr4[50], "tie construction drifted"
+
+        scalar_snr, scalar_width, scalar_offset = best_boxcar_snr(row)
+        detector = MatchedFilterDetector.for_samples(row.size)
+        snrs, widths, offsets = detector.best_per_trial(row[None, :])
+        assert widths[0] == scalar_width == 1
+        assert offsets[0] == scalar_offset == 10
+        assert snrs[0] == scalar_snr
+
+    def test_parity_with_scalar_on_tie_heavy_plane(self, rng):
+        # Sparse integer planes generate many exact ties; the
+        # vectorized path must agree with the scalar oracle on all of
+        # them, widths and offsets included.
+        plane = np.zeros((8, 128), dtype=np.float64)
+        positions = rng.integers(0, 120, size=(8, 3))
+        for row, cols in enumerate(positions):
+            plane[row, cols] = 4.0
+        detector = MatchedFilterDetector.for_samples(128)
+        snrs, widths, offsets = detector.best_per_trial(plane)
+        for row in range(8):
+            snr, width, offset = best_boxcar_snr(plane[row])
+            assert snrs[row] == snr
+            assert widths[row] == width
+            assert offsets[row] == offset
+
+
+class TestDegenerateBank:
+    def test_all_widths_wider_than_plane_raises(self, rng):
+        # A bank no width of which fits would silently detect nothing;
+        # that is a misconfiguration, not an empty sky.
+        narrow = rng.normal(size=(2, 4)).astype(np.float32)
+        detector = MatchedFilterDetector(widths=(8, 64))
+        with pytest.raises(ValidationError, match="wider"):
+            detector.detect(narrow, np.arange(2, dtype=np.float64))
+
+    def test_best_per_trial_raises_too(self, rng):
+        narrow = rng.normal(size=(2, 4)).astype(np.float32)
+        with pytest.raises(ValidationError, match="wider"):
+            MatchedFilterDetector(widths=(64,)).best_per_trial(narrow)
+
+    def test_partial_fit_still_detects(self, rng):
+        # Only the bank-wide degenerate case raises; individual
+        # too-wide widths are still skipped.
+        narrow = rng.normal(size=(2, 4)).astype(np.float32)
+        detector = MatchedFilterDetector(snr_threshold=1.0, widths=(2, 64))
+        found = detector.detect(narrow, np.arange(2, dtype=np.float64))
+        assert all(c.width == 2 for c in found)
+
+
+class TestSlabDetection:
+    def test_slabs_bit_identical_to_whole_plane(self, plane):
+        detector = MatchedFilterDetector(snr_threshold=3.0)
+        dms = np.arange(plane.shape[0], dtype=np.float64)
+        whole = detector.detect(plane, dms, time_offset=7, beam=2)
+        slabbed = detector.detect_slabs(
+            (plane[0:2], plane[2:5], plane[5:6]),
+            dms,
+            time_offset=7,
+            beam=2,
+        )
+        assert slabbed == whole
+
+    def test_slab_row_count_must_cover_grid(self, plane):
+        detector = MatchedFilterDetector()
+        dms = np.arange(plane.shape[0], dtype=np.float64)
+        with pytest.raises(ValidationError, match="covered"):
+            detector.detect_slabs((plane[0:2],), dms)
+
+    def test_slab_peak_below_whole_plane_peak(self, plane):
+        from repro.run.peak import MemoryAccount
+
+        detector = MatchedFilterDetector()
+        dms = np.arange(plane.shape[0], dtype=np.float64)
+        whole_account = MemoryAccount()
+        detector.detect(plane, dms, account=whole_account)
+        slab_account = MemoryAccount()
+        detector.detect_slabs(
+            (plane[i : i + 1] for i in range(plane.shape[0])),
+            dms,
+            account=slab_account,
+        )
+        assert slab_account.peak_bytes < whole_account.peak_bytes

@@ -260,3 +260,141 @@ class TestStreamFaultAccounting:
                 "repro_search_chunks_total", outcome="duplicate",
                 setup=toy_low.name,
             ).value == 1
+
+
+def _bare_report(records):
+    """A SearchReport over hand-built records, bypassing run()."""
+    from repro.search.sift import SiftResult
+    from repro.search.stream import SearchReport
+
+    return SearchReport(
+        setup_name="toy-low",
+        n_dms=8,
+        chunk_seconds=1.0,
+        deadline_seconds=1.0,
+        records=tuple(records),
+        result=SiftResult(accepted=(), vetoed=()),
+        backend="vectorized",
+    )
+
+
+class TestVerdictSemantics:
+    def test_empty_records_are_not_realtime_sustained(self):
+        # all() over zero records is vacuously true; an empty report must
+        # not claim real-time performance it never demonstrated.
+        report = _bare_report(())
+        assert report.verdict == "empty"
+        assert not report.realtime_sustained
+        assert report.makespan_s == 0.0
+        assert report.verdict_payload()["verdict"] == "empty"
+
+    def test_single_processed_chunk_can_sustain_realtime(self):
+        from repro.search.stream import ChunkRecord
+
+        report = _bare_report(
+            (
+                ChunkRecord(
+                    sequence=0,
+                    arrival_s=0.0,
+                    dropped=False,
+                    start_s=0.0,
+                    finish_s=0.5,
+                    service_s=0.5,
+                ),
+            )
+        )
+        assert report.verdict == "realtime_sustained"
+
+    def test_makespan_covers_dropped_tail(self):
+        # A stream whose final chunks are all shed still occupied the
+        # search until those arrivals; makespan must not stop at the
+        # last processed chunk's finish.
+        from repro.search.stream import ChunkRecord
+
+        report = _bare_report(
+            (
+                ChunkRecord(
+                    sequence=0,
+                    arrival_s=0.0,
+                    dropped=False,
+                    start_s=0.0,
+                    finish_s=1.5,
+                    service_s=1.5,
+                ),
+                ChunkRecord(sequence=1, arrival_s=1.0, dropped=True),
+                ChunkRecord(sequence=2, arrival_s=2.0, dropped=True),
+            )
+        )
+        assert report.makespan_s == 2.0
+        assert report.verdict == "degraded"
+
+    def test_makespan_under_backpressure_run(self, plan, toy_low, toy_grid):
+        # End-to-end: with drops present, makespan covers every record's
+        # disposition (processed finish or shed arrival).
+        config = SearchConfig(
+            queue_capacity=1,
+            min_service_seconds=2.5 * (plan.samples / 400),
+        )
+        report = search_stream(
+            plan, iter(make_chunks(toy_low, toy_grid, n_chunks=6)), config
+        )
+        assert report.chunks_dropped > 0
+        expected = max(
+            r.arrival_s if r.dropped else r.finish_s for r in report.records
+        )
+        assert report.makespan_s == expected
+
+
+class TestFusedPath:
+    def test_fused_is_the_default(self):
+        assert SearchConfig().fused
+
+    def test_fused_and_staged_find_identical_candidates(
+        self, plan, toy_low, toy_grid
+    ):
+        chunks = make_chunks(toy_low, toy_grid, n_chunks=3)
+        fused = search_stream(
+            plan, iter(chunks), SearchConfig(fused=True),
+            backend="vectorized",
+        )
+        staged = search_stream(
+            plan, iter(chunks), SearchConfig(fused=False),
+            backend="vectorized",
+        )
+        assert fused.result.accepted == staged.result.accepted
+        assert fused.result.vetoed == staged.result.vetoed
+        assert [r.n_raw for r in fused.records] == [
+            r.n_raw for r in staged.records
+        ]
+
+    def test_verdict_payload_identical_across_paths(
+        self, plan, toy_low, toy_grid
+    ):
+        # The scenario goldens compare verdict payloads exactly; the
+        # fused default must not perturb them.
+        chunks = make_chunks(toy_low, toy_grid, n_chunks=3)
+        fused = search_stream(plan, iter(chunks), SearchConfig(fused=True))
+        staged = search_stream(plan, iter(chunks), SearchConfig(fused=False))
+        assert fused.verdict_payload() == staged.verdict_payload()
+
+    def test_chunk_records_carry_peak_bytes(self, plan, toy_low, toy_grid):
+        report = search_stream(plan, iter(make_chunks(toy_low, toy_grid)))
+        assert all(r.peak_bytes > 0 for r in report.records)
+        assert report.peak_bytes == max(r.peak_bytes for r in report.records)
+
+    def test_staged_path_meters_and_labels_peak(self, plan, toy_low, toy_grid):
+        with use_registry() as registry:
+            search_stream(
+                plan,
+                iter(make_chunks(toy_low, toy_grid)),
+                SearchConfig(fused=False),
+            )
+            hist = registry.histogram("repro_run_peak_bytes", path="staged")
+            assert hist.count == 2
+            assert hist.sum > 0
+
+    def test_fused_path_emits_fused_label(self, plan, toy_low, toy_grid):
+        with use_registry() as registry:
+            search_stream(plan, iter(make_chunks(toy_low, toy_grid)))
+            hist = registry.histogram("repro_run_peak_bytes", path="fused")
+            assert hist.count == 2
