@@ -1,0 +1,252 @@
+"""Benchmark the multi-tenant tuning fleet under closed-loop load.
+
+A seeded closed-loop load generator (each tenant thread issues its next
+request as soon as the previous answer lands) drives a
+:class:`repro.service.TuningFleet` at 1, 2, and 4 replicas over a fixed
+instance mix, recording:
+
+* **latency** — client-observed p50/p95/p99 per replica count;
+* **saturation throughput** — completed requests per wall-clock second
+  of the closed loop;
+* **cache-hit and coalesce ratios** — how much of the load never reached
+  a sweep;
+* **warm sharing** — an instance tuned once via its routed replica must
+  be a cache hit from *every other* replica of a store-sharing fleet;
+* **fairness** — an aggressor tenant blowing through its token bucket
+  must degrade only itself: every victim answer stays authoritative.
+
+The acceptance claims asserted in ``BENCH_service.json``: warm sharing
+holds on every replica, the aggressor is throttled while no victim is,
+and every closed-loop request is answered.
+
+::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke
+
+``--smoke`` shrinks the load so CI finishes in seconds; the emitted
+``BENCH_service.json`` marks itself accordingly.
+"""
+
+import argparse
+import json
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from repro.obs import MetricsRegistry, percentile
+from repro.service import TenantAdmission, TuneRequest, TuningFleet
+from repro.utils.rng import RandomStreams
+
+DEFAULT_OUT = Path(__file__).resolve().parents[1] / "BENCH_service.json"
+
+#: Replica counts the scaling sweep records (fixed by the acceptance
+#: criteria: 1, 2, and 4).
+REPLICA_COUNTS = (1, 2, 4)
+
+FULL = {"tenants": 8, "load": 12, "n_dms": (32, 64, 128, 256)}
+SMOKE = {"tenants": 3, "load": 4, "n_dms": (16, 32)}
+
+#: Fairness scenario: same bucket for everyone; only the aggressor's
+#: request count exceeds it.
+FAIRNESS_BUCKET = 8.0
+AGGRESSOR_LOAD = 40
+VICTIM_LOAD = 5
+
+
+def tenant_loop(fleet, tenant, load, n_dms_mix, seed):
+    """One closed-loop tenant; returns its per-request latencies."""
+    rng = RandomStreams(seed).python(f"load-{tenant}")
+    latencies = []
+    for _ in range(load):
+        request = TuneRequest(
+            setup="apertif",
+            n_dms=rng.choice(n_dms_mix),
+            device="HD7970",
+            tenant=tenant,
+        )
+        started = time.perf_counter()
+        fleet.resolve(request)
+        latencies.append(time.perf_counter() - started)
+    return latencies
+
+
+def run_closed_loop(replicas, tenants, load, n_dms_mix, store_dir):
+    """Drive one fleet to saturation; return the scaling-row dict."""
+    with TuningFleet(
+        replicas=replicas,
+        store_dir=store_dir,
+        registry=MetricsRegistry(),
+        max_workers=2,
+    ) as fleet:
+        started = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=tenants) as pool:
+            futures = [
+                pool.submit(
+                    tenant_loop, fleet, f"tenant{i}", load, n_dms_mix, i
+                )
+                for i in range(tenants)
+            ]
+            latencies = sorted(
+                lat for future in futures for lat in future.result()
+            )
+        elapsed = time.perf_counter() - started
+        snap = fleet.snapshot()
+    total = tenants * load
+    return {
+        "replicas": replicas,
+        "requests": total,
+        "wall_s": round(elapsed, 4),
+        "throughput_rps": round(total / elapsed, 2),
+        "p50_latency_ms": round(1e3 * percentile(latencies, 0.50), 3),
+        "p95_latency_ms": round(1e3 * percentile(latencies, 0.95), 3),
+        "p99_latency_ms": round(1e3 * percentile(latencies, 0.99), 3),
+        "sweeps": snap.aggregate.sweeps,
+        "cache_hit_ratio": round(snap.aggregate.hit_rate, 4),
+        "coalesce_ratio": round(snap.coalesce_ratio, 4),
+        "all_answered": bool(snap.requests == total),
+    }
+
+
+def run_warm_sharing(n_dms, store_dir):
+    """Tune once via the routed replica; read from every other one."""
+    with TuningFleet(
+        replicas=4, store_dir=store_dir, registry=MetricsRegistry()
+    ) as fleet:
+        request = TuneRequest(
+            setup="apertif", n_dms=n_dms, device="HD7970", tenant="seeder"
+        )
+        routed = fleet.resolve(request)
+        others = {}
+        for name in fleet.replica_names():
+            if name == routed.replica:
+                continue
+            others[name] = fleet.replica(name).resolve(request).source
+        sweeps = fleet.snapshot().aggregate.sweeps
+    return {
+        "n_dms": n_dms,
+        "tuned_by": routed.replica,
+        "first_source": routed.source,
+        "other_replica_sources": others,
+        "sweeps": sweeps,
+        "all_hits": bool(
+            sweeps == 1
+            and all(source == "disk" for source in others.values())
+        ),
+    }
+
+
+def run_fairness(n_dms_mix):
+    """Aggressor vs victims under one shared token-bucket policy."""
+    admission = TenantAdmission(capacity=FAIRNESS_BUCKET, refill_per_s=1.0)
+    with TuningFleet(
+        replicas=2, admission=admission, registry=MetricsRegistry()
+    ) as fleet:
+        # Warm the mix so the scenario measures admission, not sweeps.
+        fleet.warm_up(
+            "HD7970", "apertif", [TuneRequest(
+                setup="apertif", n_dms=n, device="HD7970"
+            ).resolved_grid() for n in n_dms_mix],
+        )
+
+        def loop(tenant, load, seed):
+            rng = RandomStreams(seed).python("mix")
+            return [
+                fleet.resolve(TuneRequest(
+                    setup="apertif", n_dms=rng.choice(n_dms_mix),
+                    device="HD7970", tenant=tenant,
+                ))
+                for _ in range(load)
+            ]
+
+        with ThreadPoolExecutor(max_workers=3) as pool:
+            aggressor = pool.submit(loop, "aggressor", AGGRESSOR_LOAD, 0)
+            victims = [
+                pool.submit(loop, f"victim{i}", VICTIM_LOAD, i + 1)
+                for i in range(2)
+            ]
+            aggressor_responses = aggressor.result()
+            victim_responses = [
+                r for future in victims for r in future.result()
+            ]
+        snap = fleet.snapshot()
+    aggressor_degraded = sum(r.degraded for r in aggressor_responses)
+    victim_degraded = sum(r.degraded for r in victim_responses)
+    return {
+        "bucket_capacity": FAIRNESS_BUCKET,
+        "aggressor_requests": AGGRESSOR_LOAD,
+        "victim_requests": len(victim_responses),
+        "aggressor_degraded": aggressor_degraded,
+        "victim_degraded": victim_degraded,
+        "throttled_by_tenant": {
+            tenant: usage.rejected
+            for tenant, usage in snap.tenants.items()
+        },
+        "isolated": bool(aggressor_degraded > 0 and victim_degraded == 0),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small load for CI; seconds instead of minutes",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=DEFAULT_OUT,
+        help=f"output JSON path (default: {DEFAULT_OUT})",
+    )
+    args = parser.parse_args(argv)
+    profile = SMOKE if args.smoke else FULL
+
+    # Each replica count gets a fresh store: the sweep compares cold
+    # fleets, not one fleet inheriting another's disk tier.
+    scaling = []
+    for replicas in REPLICA_COUNTS:
+        with tempfile.TemporaryDirectory(prefix="bench-fleet-") as store:
+            scaling.append(run_closed_loop(
+                replicas, profile["tenants"], profile["load"],
+                profile["n_dms"], store,
+            ))
+
+    with tempfile.TemporaryDirectory(prefix="bench-warm-") as store:
+        warm_sharing = run_warm_sharing(max(profile["n_dms"]), store)
+    fairness = run_fairness(profile["n_dms"])
+
+    acceptance = {
+        "warm_sharing_ok": warm_sharing["all_hits"],
+        "fairness_ok": fairness["isolated"],
+        "all_answered_ok": bool(
+            all(row["all_answered"] for row in scaling)
+        ),
+    }
+    acceptance["passed"] = bool(all(acceptance.values()))
+    report = {
+        "benchmark": "service",
+        "smoke": args.smoke,
+        "profile": {
+            "tenants": profile["tenants"],
+            "requests_per_tenant": profile["load"],
+            "n_dms_mix": list(profile["n_dms"]),
+        },
+        "scaling": scaling,
+        "warm_sharing": warm_sharing,
+        "fairness": fairness,
+        "acceptance": acceptance,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(
+        {k: report[k] for k in ("scaling", "warm_sharing", "fairness",
+                                "acceptance")},
+        indent=2,
+    ))
+    print(f"wrote {args.out}")
+    return 0 if acceptance["passed"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

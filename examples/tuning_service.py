@@ -1,47 +1,59 @@
-"""Serve tuned configurations to concurrent clients from a shared cache.
+"""Serve tuned configurations to a multi-tenant fleet from a shared cache.
 
 A production survey does not re-run the exhaustive sweep for every
 pipeline that needs a kernel configuration — it asks a long-lived tuning
-service.  This example runs :class:`repro.service.TuningService` through
-its whole repertoire:
+service.  This example runs the :mod:`repro.service` layer through its
+whole repertoire, at both of its scales:
 
 1. **Warm-up** — pre-tune a ladder of instances; each sweep after the
    first is warm-started from its cached neighbour, so most of the
    optimisation space is never simulated.
-2. **Concurrent clients** — eight threads hammer the service with
-   overlapping requests; the first request per instance triggers one
-   sweep, everyone else is deduplicated onto it or served from memory.
-3. **Restart** — a second service instance pointed at the same store
-   directory answers from disk without re-sweeping.
-4. **Stats** — the counter surface that makes all of the above visible.
+2. **Concurrent tenants** — eight tenants hammer a two-replica
+   :class:`~repro.service.TuningFleet` through one
+   :class:`~repro.service.ServiceClient` each; the router sends every
+   instance to exactly one replica, the first request per instance
+   triggers one sweep, everyone else is coalesced onto it or served
+   from cache.
+3. **Warm sharing** — a replica that never swept an instance still
+   answers it from the shared on-disk store.
+4. **Restart** — a fresh fleet pointed at the same store directory
+   answers from disk without re-sweeping.
+5. **Stats** — the counter surface that makes all of the above visible.
 
 Run with::
 
     python examples/tuning_service.py [store_dir]
 """
 
-import random
 import sys
 import tempfile
 from concurrent.futures import ThreadPoolExecutor
 
 from repro import DMTrialGrid, apertif
 from repro.hardware.catalog import hd7970
-from repro.service import TuningService
+from repro.obs import MetricsRegistry
+from repro.service import ServiceClient, TuneRequest, TuningFleet
+from repro.utils.rng import RandomStreams
 
 INSTANCES = (32, 64, 128, 256, 512)
-CLIENTS = 8
-REQUESTS_PER_CLIENT = 10
+TENANTS = 8
+REQUESTS_PER_TENANT = 10
+REPLICAS = 2
 
 
-def client(service: TuningService, client_id: int) -> float:
-    """One simulated pipeline worker; returns its slowest request."""
-    rng = random.Random(client_id)
-    device, setup = hd7970(), apertif()
+def tenant(fleet: TuningFleet, tenant_id: int) -> float:
+    """One simulated science team; returns its slowest request."""
+    client = ServiceClient(fleet, tenant=f"team{tenant_id}")
+    rng = RandomStreams(seed=tenant_id).python("load")
     slowest = 0.0
-    for _ in range(REQUESTS_PER_CLIENT):
-        n_dms = rng.choice(INSTANCES)
-        response = service.get(device, setup, DMTrialGrid(n_dms))
+    for _ in range(REQUESTS_PER_TENANT):
+        response = client.resolve(
+            TuneRequest(
+                setup="apertif",
+                n_dms=DMTrialGrid(rng.choice(INSTANCES)),
+                device="HD7970",
+            )
+        )
         slowest = max(slowest, response.elapsed_s)
     return slowest
 
@@ -54,28 +66,49 @@ def main() -> int:
         store_dir = scratch.name
 
     device, setup = hd7970(), apertif()
-    with TuningService(store_dir=store_dir, max_workers=2) as service:
+    with TuningFleet(
+        replicas=REPLICAS, store_dir=store_dir, max_workers=2
+    ) as fleet:
         print("— warm-up (each sweep seeds the next) —")
-        for response in service.warm_up(device, setup, INSTANCES):
+        for response in fleet.warm_up(device, setup, INSTANCES):
             print(f"  {response.describe()}")
 
-        print(f"\n— {CLIENTS} concurrent clients —")
-        with ThreadPoolExecutor(max_workers=CLIENTS) as pool:
+        print(f"\n— {TENANTS} concurrent tenants —")
+        with ThreadPoolExecutor(max_workers=TENANTS) as pool:
             slowest = max(
-                pool.map(lambda i: client(service, i), range(CLIENTS))
+                pool.map(lambda i: tenant(fleet, i), range(TENANTS))
             )
-        print(f"  {CLIENTS * REQUESTS_PER_CLIENT} requests served; "
+        print(f"  {TENANTS * REQUESTS_PER_TENANT} requests served; "
               f"slowest {1e3 * slowest:.2f} ms")
 
-        print("\n— service statistics —")
-        print(service.snapshot().render())
+        print("\n— warm sharing: ask a replica that never swept —")
+        request = TuneRequest(
+            setup=setup, n_dms=max(INSTANCES), device=device, tenant="probe"
+        )
+        owner = fleet.router.route(request.key())
+        other = next(
+            name for name in fleet.replica_names() if name != owner
+        )
+        shared = fleet.replica(other).resolve(request)
+        print(f"  {other} (not the routed owner {owner}): "
+              f"source={shared.source}")
 
-    print("\n— restart: a fresh service over the same store —")
-    with TuningService(store_dir=store_dir) as reborn:
-        response = reborn.get(device, setup, DMTrialGrid(max(INSTANCES)))
+        print("\n— fleet statistics —")
+        print(fleet.snapshot().render())
+
+    print("\n— restart: a fresh fleet over the same store —")
+    with TuningFleet(
+        replicas=REPLICAS, store_dir=store_dir, registry=MetricsRegistry()
+    ) as reborn:
+        client = ServiceClient(reborn, tenant="restart")
+        response = client.resolve(
+            TuneRequest(
+                setup=setup, n_dms=DMTrialGrid(max(INSTANCES)), device=device
+            )
+        )
         print(f"  {response.describe()}")
         print(f"  sweeps executed after restart: "
-              f"{reborn.snapshot().sweeps}")
+              f"{reborn.snapshot().aggregate.sweeps}")
 
     if scratch is not None:
         scratch.cleanup()

@@ -123,7 +123,13 @@ from repro.tune import (
 )
 from repro.service import (
     TuningService,
+    TuningFleet,
+    ServiceClient,
     ServiceResponse,
+    TuneRequest,
+    TuneResponse,
+    TenantAdmission,
+    FleetSnapshot,
     ServiceStats,
     StatsSnapshot,
 )
@@ -266,7 +272,13 @@ __all__ = [
     "AblationReport",
     # serving layer
     "TuningService",
+    "TuningFleet",
+    "ServiceClient",
     "ServiceResponse",
+    "TuneRequest",
+    "TuneResponse",
+    "TenantAdmission",
+    "FleetSnapshot",
     "ServiceStats",
     "StatsSnapshot",
     # execution engine

@@ -245,10 +245,16 @@ def _cmd_ddplan(args: argparse.Namespace) -> int:
 
 
 def _cmd_service(args: argparse.Namespace) -> int:
-    import random
+    import tempfile
     from concurrent.futures import ThreadPoolExecutor
 
-    from repro.service import TuningService
+    from repro.service import (
+        ServiceClient,
+        TenantAdmission,
+        TuneRequest,
+        TuningFleet,
+    )
+    from repro.utils.rng import RandomStreams
 
     device = device_by_name(args.device)
     setup = _setup_by_name(args.setup)
@@ -265,47 +271,88 @@ def _cmd_service(args: argparse.Namespace) -> int:
             ) from None
     if not instances:
         raise ReproError("no instances given (use --instances N,N,...)")
+    if args.replicas < 1:
+        raise ReproError("--replicas must be >= 1")
+    if args.tenants < 1:
+        raise ReproError("--tenants must be >= 1")
 
-    service = TuningService(
-        store_dir=args.store or None,
+    admission = None
+    if args.admission_rate is not None:
+        admission = TenantAdmission(
+            capacity=args.admission_burst, refill_per_s=args.admission_rate
+        )
+
+    store_ctx = None
+    store_dir = args.store or None
+    if store_dir is None and args.replicas > 1:
+        # Warm sharing needs the shared disk tier; give the run one.
+        store_ctx = tempfile.TemporaryDirectory(prefix="repro-fleet-")
+        store_dir = store_ctx.name
+        print(f"(sharing sweeps across replicas via {store_dir})")
+
+    fleet = TuningFleet(
+        replicas=args.replicas,
+        store_dir=store_dir,
+        admission=admission,
         max_workers=args.workers,
         timeout_s=args.timeout,
     )
-    with service:
-        if args.warm_up:
-            for response in service.warm_up(device, setup, instances):
-                print(f"warm-up  {response.describe()}")
+    try:
+        with fleet:
+            if args.warm_up:
+                for response in fleet.warm_up(device, setup, instances):
+                    print(f"warm-up  {response.describe()}")
 
-        def client(client_id: int) -> list:
-            rng = random.Random(client_id)
-            wanted = instances * args.requests
-            rng.shuffle(wanted)
-            return [service.get(device, setup, n) for n in wanted]
+            def tenant_worker(tenant_id: int) -> list:
+                client = ServiceClient(fleet, tenant=f"tenant{tenant_id}")
+                streams = RandomStreams(seed=tenant_id)
+                wanted = instances * args.load
+                streams.python("order").shuffle(wanted)
+                return [
+                    client.resolve(
+                        TuneRequest(
+                            setup=setup,
+                            n_dms=n,
+                            device=device,
+                            priority=args.priority,
+                            strategy=args.strategy or None,
+                        )
+                    )
+                    for n in wanted
+                ]
 
-        with ThreadPoolExecutor(max_workers=args.clients) as clients:
-            all_responses = [
-                response
-                for worker in clients.map(client, range(args.clients))
-                for response in worker
-            ]
+            with ThreadPoolExecutor(max_workers=args.tenants) as pool:
+                all_responses = [
+                    response
+                    for worker in pool.map(
+                        tenant_worker, range(args.tenants)
+                    )
+                    for response in worker
+                ]
 
-        print(
-            f"\n{args.clients} clients x {len(instances) * args.requests} "
-            f"requests against {device.name}/{setup.name}:"
-        )
-        for n in instances:
-            best = next(
-                r.best for r in all_responses if r.key.n_dms == n
-            )
             print(
-                f"  {n:>6} DMs -> {best.config.describe()} "
-                f"{best.gflops:.1f} GFLOP/s"
+                f"\n{args.tenants} tenants x "
+                f"{len(instances) * args.load} requests against "
+                f"{args.replicas} replica(s) of {device.name}/{setup.name}:"
             )
-        print()
-        print(service.snapshot().render())
+            for n in instances:
+                best = next(
+                    r.best for r in all_responses if r.key.n_dms == n
+                )
+                print(
+                    f"  {n:>6} DMs -> {best.config.describe()} "
+                    f"{best.gflops:.1f} GFLOP/s"
+                )
+            print()
+            print(fleet.snapshot().render())
 
-        if args.smoke:
-            _service_pipeline_smoke(service, device)
+            if args.smoke:
+                _service_pipeline_smoke(
+                    ServiceClient(fleet, tenant="smoke"), device
+                )
+    finally:
+        if store_ctx is not None:
+            store_ctx.cleanup()
 
     from repro.obs import get_registry, render_table
 
@@ -315,11 +362,11 @@ def _cmd_service(args: argparse.Namespace) -> int:
     return 0
 
 
-def _service_pipeline_smoke(service, device) -> None:
+def _service_pipeline_smoke(client, device) -> None:
     """Run one tuned configuration end to end through the pipeline.
 
     Proves the service's answer actually executes: a small synthetic
-    instance is tuned *through the service*, the resulting plan
+    instance is tuned *through the client*, the resulting plan
     dedisperses one chunk via the streaming pipeline, and the same
     launch goes through the mini OpenCL runtime — so one ``repro
     service`` run populates tuner, service, pipeline, and simulator
@@ -331,6 +378,7 @@ def _service_pipeline_smoke(service, device) -> None:
     from repro.core.plan import DedispersionPlan
     from repro.opencl_sim import CommandQueue, Context, SimDevice
     from repro.pipeline.streaming import StreamingDedispersion
+    from repro.service import TuneRequest
 
     setup = ObservationSetup(
         name="obs-smoke",
@@ -341,7 +389,9 @@ def _service_pipeline_smoke(service, device) -> None:
         samples_per_batch=1000,
     )
     grid = DMTrialGrid(n_dms=8, first=1.0, step=1.0)
-    response = service.get(device, setup, grid)
+    response = client.resolve(
+        TuneRequest(setup=setup, n_dms=grid, device=device)
+    )
     plan = DedispersionPlan.create(
         setup, grid, device, config=response.best.config
     )
@@ -889,41 +939,61 @@ def build_parser() -> argparse.ArgumentParser:
     ddplan.set_defaults(func=_cmd_ddplan)
 
     service = sub.add_parser(
-        "service", help="concurrent tuning service with cache statistics"
+        "service", help="multi-tenant tuning fleet with cache statistics"
     )
     service.add_argument("--device", default="HD7970")
     service.add_argument("--setup", default="apertif")
     service.add_argument(
         "--instances", default="32,64,128,256",
-        help="comma-separated DM counts clients will request",
+        help="comma-separated DM counts tenants will request",
     )
     service.add_argument(
-        "--clients", type=int, default=4,
-        help="concurrent client threads",
+        "--replicas", type=int, default=1,
+        help="tuning service replicas behind the shard router",
     )
     service.add_argument(
-        "--requests", type=int, default=3,
-        help="requests per client per instance",
+        "--tenants", "--clients", type=int, default=4, dest="tenants",
+        help="concurrent tenant threads (one ServiceClient each)",
+    )
+    service.add_argument(
+        "--load", "--requests", type=int, default=3, dest="load",
+        help="requests per tenant per instance",
     )
     service.add_argument(
         "--workers", type=int, default=2,
-        help="tuning worker threads",
+        help="tuning worker threads per replica",
     )
     service.add_argument(
         "--timeout", type=float, default=None,
         help="per-request tuning budget in seconds before degrading",
     )
     service.add_argument(
+        "--priority", choices=("low", "normal", "high"), default="normal",
+        help="TuneRequest priority stamped on the generated load",
+    )
+    service.add_argument(
+        "--strategy", default="",
+        help="per-request search strategy name (e.g. model-guided)",
+    )
+    service.add_argument(
+        "--admission-rate", type=float, default=None, metavar="TOKENS_PER_S",
+        help="per-tenant token-bucket refill rate (enables admission)",
+    )
+    service.add_argument(
+        "--admission-burst", type=float, default=8.0, metavar="TOKENS",
+        help="per-tenant token-bucket capacity",
+    )
+    service.add_argument(
         "--store", metavar="DIR", default="",
-        help="directory for the persistent sweep tier",
+        help="directory for the persistent sweep tier (shared by replicas)",
     )
     service.add_argument(
         "--warm-up", action="store_true",
-        help="pre-tune all instances before starting the clients",
+        help="pre-tune all instances before starting the tenants",
     )
     service.add_argument(
         "--no-smoke", dest="smoke", action="store_false",
-        help="skip the end-to-end pipeline smoke after the client traffic",
+        help="skip the end-to-end pipeline smoke after the tenant traffic",
     )
     service.set_defaults(func=_cmd_service, smoke=True)
 

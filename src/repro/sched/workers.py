@@ -66,9 +66,14 @@ class ServiceTimeModel:
         key = (device.name, n_dms)
         config = self._configs.get(key)
         if config is None:
+            from repro.service import TuneRequest  # local: avoid cycle
+
             service = self._ensure_service()
             grid = self.grid.subgrid(0, n_dms)
-            config = service.get(device, self.setup, grid).best.config
+            request = TuneRequest(
+                setup=self.setup, n_dms=grid, device=device, tenant="sched"
+            )
+            config = service.resolve(request).best.config
             self._configs[key] = config
         return config
 

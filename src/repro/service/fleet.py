@@ -1,0 +1,398 @@
+"""The horizontally scaled, multi-tenant tuning fleet.
+
+One :class:`~repro.service.TuningService` saturates at its worker pool;
+a survey with many telescopes, beams, and science teams needs the same
+serving semantics to scale horizontally without losing the property that
+makes the paper's auto-tuning pay off at all — *one* sweep per instance,
+reused by every observer (Sclocco et al. 2016: tuned configurations are
+shared across telescopes for months).  :class:`TuningFleet` is that
+layer:
+
+* **Deterministic shard routing** — a consistent-hash ring
+  (:class:`~repro.service.router.ConsistentHashRouter`) over the cache
+  fingerprint places every instance on exactly one replica, so that
+  replica's LRU and in-flight dedup see all of its traffic.  Replica
+  join/leave remaps only the keys the affected replica owned.
+* **Cross-replica warm sharing** — replicas share one on-disk sweep
+  store; a fingerprint tuned once *via any replica* is a disk hit from
+  every other replica (after a remap, the new owner starts warm).
+* **Cross-tenant coalescing** — concurrent requests for the same
+  fingerprint, from any number of tenants, collapse to one underlying
+  resolve; the answer fans back out per tenant, marked ``coalesced``.
+* **Per-tenant admission** — a token bucket per tenant
+  (:class:`~repro.service.admission.TenantAdmission`) charged before
+  routing.  A throttled request is answered by the owning replica's
+  existing degradation path, so a hostile tenant degrades only itself.
+
+Every request lands in ``repro_service_fleet_*`` metrics (requests by
+tenant and replica, coalesced and throttled counts, fleet-wide latency)
+under ``fleet.route`` / ``fleet.replica`` spans, riding the per-replica
+``instance`` labels the replicas' own ``repro_service_*`` series already
+carry.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, fields
+
+from repro.errors import PipelineError
+from repro.obs import MetricsRegistry, get_registry, span
+from repro.service.admission import TenantAdmission
+from repro.service.keys import InstanceKey
+from repro.service.request import TuneRequest, TuneResponse
+from repro.service.router import DEFAULT_VNODES, ConsistentHashRouter
+from repro.service.service import TuningService
+from repro.service.stats import StatsSnapshot
+
+#: Fleet metric families (see docs/observability.md).
+REQUESTS_METRIC = "repro_service_fleet_requests_total"
+COALESCED_METRIC = "repro_service_fleet_coalesced_total"
+REJECTED_METRIC = "repro_service_fleet_admission_rejected_total"
+REPLICAS_GAUGE = "repro_service_fleet_replicas"
+LATENCY_METRIC = "repro_service_fleet_request_latency_seconds"
+
+
+@dataclass(frozen=True)
+class TenantUsage:
+    """One tenant's fleet-level accounting."""
+
+    requests: int = 0
+    coalesced: int = 0
+    rejected: int = 0
+
+
+@dataclass(frozen=True)
+class FleetSnapshot:
+    """A consistent point-in-time view of the whole fleet.
+
+    ``aggregate`` sums every replica's counters (its latency percentiles
+    are the *fleet-level* distribution — every request as the client saw
+    it, including coalesced fan-outs the replicas never timed).
+    """
+
+    aggregate: StatsSnapshot
+    replicas: dict[str, StatsSnapshot]
+    tenants: dict[str, TenantUsage]
+    requests: int
+    coalesced: int
+    admission_rejected: int
+    p50_latency_s: float
+    p95_latency_s: float
+    p99_latency_s: float
+
+    @property
+    def coalesce_ratio(self) -> float:
+        """Fraction of requests that piggybacked on another tenant's."""
+        return self.coalesced / self.requests if self.requests else 0.0
+
+    def render(self) -> str:
+        """Aggregate counter table plus per-replica and tenant summaries."""
+        lines = [self.aggregate.render()]
+        lines.append(
+            f"fleet: {self.requests} requests, "
+            f"{self.coalesced} coalesced "
+            f"({100.0 * self.coalesce_ratio:.1f}%), "
+            f"{self.admission_rejected} throttled; "
+            f"latency p50/p95/p99 {1e3 * self.p50_latency_s:.2f} / "
+            f"{1e3 * self.p95_latency_s:.2f} / "
+            f"{1e3 * self.p99_latency_s:.2f} ms"
+        )
+        for name in sorted(self.replicas):
+            snap = self.replicas[name]
+            lines.append(
+                f"  {name}: {snap.requests} requests, "
+                f"{snap.sweeps} sweeps, "
+                f"{100.0 * snap.hit_rate:.1f}% hit rate"
+            )
+        for tenant in sorted(self.tenants):
+            usage = self.tenants[tenant]
+            lines.append(
+                f"  tenant {tenant}: {usage.requests} requests, "
+                f"{usage.coalesced} coalesced, {usage.rejected} throttled"
+            )
+        return "\n".join(lines)
+
+
+class TuningFleet:
+    """N replicated tuning services behind one deterministic router.
+
+    Parameters
+    ----------
+    replicas:
+        Replica count (named ``replica0..N-1``) or an iterable of
+        explicit replica names.
+    store_dir:
+        Shared on-disk sweep store — the warm-sharing channel.  ``None``
+        disables cross-replica sharing (each replica keeps only its LRU).
+    admission:
+        A :class:`~repro.service.admission.TenantAdmission`; ``None``
+        admits everything (single-tenant deployments).
+    vnodes:
+        Virtual nodes per replica on the routing ring.
+    registry:
+        Metrics registry (default: process-wide).
+    **service_kwargs:
+        Forwarded to every replica's :class:`TuningService` constructor
+        (``max_workers``, ``timeout_s``, ``strategy``,
+        ``tuner_factory``, ...).
+    """
+
+    def __init__(
+        self,
+        replicas: int | list[str] | tuple[str, ...] = 2,
+        store_dir=None,
+        admission: TenantAdmission | None = None,
+        vnodes: int = DEFAULT_VNODES,
+        registry: MetricsRegistry | None = None,
+        **service_kwargs,
+    ):
+        if isinstance(replicas, int):
+            if replicas < 1:
+                raise PipelineError("fleet needs at least one replica")
+            names = [f"replica{i}" for i in range(replicas)]
+        else:
+            names = list(replicas)
+            if not names:
+                raise PipelineError("fleet needs at least one replica")
+            if len(set(names)) != len(names):
+                raise PipelineError("replica names must be unique")
+        self.store_dir = store_dir
+        self.admission = admission
+        self.registry = registry if registry is not None else get_registry()
+        self._service_kwargs = dict(service_kwargs)
+        self._service_kwargs.pop("name", None)
+        self._service_kwargs.pop("store_dir", None)
+        self._replicas: dict[str, TuningService] = {}
+        self._replica_lock = threading.Lock()
+        for name in names:
+            self._replicas[name] = self._make_replica(name)
+        self.router = ConsistentHashRouter(names, vnodes=vnodes)
+        self._inflight: dict[InstanceKey, Future] = {}
+        self._inflight_lock = threading.Lock()
+        self._latency = self.registry.histogram(LATENCY_METRIC)
+        self._replica_gauge = self.registry.gauge(REPLICAS_GAUGE)
+        self._replica_gauge.set(len(names))
+        self._usage: dict[str, dict[str, int]] = {}
+        self._usage_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def _make_replica(self, name: str) -> TuningService:
+        return TuningService(
+            store_dir=self.store_dir,
+            registry=self.registry,
+            name=name,
+            **self._service_kwargs,
+        )
+
+    def replica_names(self) -> list[str]:
+        """Current replica names, sorted."""
+        with self._replica_lock:
+            return sorted(self._replicas)
+
+    def replica(self, name: str) -> TuningService:
+        """The live replica called ``name``."""
+        with self._replica_lock:
+            try:
+                return self._replicas[name]
+            except KeyError:
+                raise PipelineError(f"no replica named {name!r}") from None
+
+    def add_replica(self, name: str | None = None) -> str:
+        """Join a replica; only the keys its vnodes claim are remapped.
+
+        With a shared store the new replica starts warm: remapped
+        instances are disk hits, not re-sweeps.
+        """
+        with self._replica_lock:
+            if name is None:
+                i = len(self._replicas)
+                while f"replica{i}" in self._replicas:
+                    i += 1
+                name = f"replica{i}"
+            if name in self._replicas:
+                raise PipelineError(f"replica {name!r} already in the fleet")
+            self._replicas[name] = self._make_replica(name)
+            self._replica_gauge.set(len(self._replicas))
+        self.router.add_replica(name)
+        return name
+
+    def remove_replica(self, name: str, wait: bool = True) -> None:
+        """Drain and drop a replica; only the keys it owned are remapped."""
+        self.router.remove_replica(name)
+        with self._replica_lock:
+            service = self._replicas.pop(name)
+            self._replica_gauge.set(len(self._replicas))
+        service.close(wait=wait)
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def resolve(self, request: TuneRequest) -> TuneResponse:
+        """One tenant's answer, produced by (at most) one replica.
+
+        Admission → route → coalesce → replica resolve.  Identical to a
+        single service's :meth:`~TuningService.resolve` from the
+        caller's perspective; the extra provenance (``replica``,
+        ``coalesced``) rides on the response.
+        """
+        if self._closed:
+            raise PipelineError("TuningFleet is closed")
+        tenant = request.tenant
+        started = time.perf_counter()
+        key = request.key()
+        with span("fleet.route", tenant=tenant) as route_span:
+            replica_name = self.router.route(key)
+            route_span.attributes["replica"] = replica_name
+        replica = self.replica(replica_name)
+        self._account(tenant, "requests")
+        self.registry.counter(
+            REQUESTS_METRIC, tenant=tenant, replica=replica_name
+        ).inc()
+
+        if self.admission is not None and not self.admission.try_acquire(
+            tenant
+        ):
+            self._account(tenant, "rejected")
+            self.registry.counter(REJECTED_METRIC, tenant=tenant).inc()
+            response = replica.degrade(request, reason="admission")
+            return self._finish(response, tenant, replica_name, started)
+
+        leader, future = self._join_or_lead(key)
+        if leader:
+            try:
+                with span(
+                    "fleet.replica", replica=replica_name, tenant=tenant
+                ):
+                    response = replica.resolve(request)
+                future.set_result(response)
+            except BaseException as exc:
+                future.set_exception(exc)
+                raise
+            finally:
+                with self._inflight_lock:
+                    self._inflight.pop(key, None)
+            return self._finish(response, tenant, replica_name, started)
+
+        # Follower: another tenant's identical request is already being
+        # resolved — wait for its answer and fan it out, re-labelled.
+        self._account(tenant, "coalesced")
+        self.registry.counter(COALESCED_METRIC, tenant=tenant).inc()
+        try:
+            response = future.result(
+                timeout=replica._budget_seconds(request.budget)
+            )
+        except FutureTimeoutError:
+            response = replica.degrade(request, reason="timeout")
+            return self._finish(response, tenant, replica_name, started)
+        return self._finish(
+            response, tenant, replica_name, started, coalesced=True
+        )
+
+    def warm_up(self, device, setup, instances) -> list[TuneResponse]:
+        """Pre-tune a ladder of instances through the normal fleet path."""
+        return [
+            self.resolve(TuneRequest(setup=setup, n_dms=n, device=device))
+            for n in sorted(
+                instances,
+                key=lambda g: getattr(g, "n_dms", g),
+            )
+        ]
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def snapshot(self) -> FleetSnapshot:
+        """Aggregate + per-replica + per-tenant counters."""
+        with self._replica_lock:
+            replicas = {
+                name: service.snapshot()
+                for name, service in self._replicas.items()
+            }
+        totals: dict[str, int] = {}
+        int_fields = [
+            f.name for f in fields(StatsSnapshot) if f.type in ("int", int)
+        ]
+        for snap in replicas.values():
+            for field_name in int_fields:
+                totals[field_name] = (
+                    totals.get(field_name, 0) + getattr(snap, field_name)
+                )
+        quantiles = self._latency.quantiles((0.50, 0.95, 0.99))
+        aggregate = StatsSnapshot(
+            **totals,
+            p50_latency_s=quantiles[0.50],
+            p95_latency_s=quantiles[0.95],
+        )
+        with self._usage_lock:
+            tenants = {
+                tenant: TenantUsage(
+                    requests=usage.get("requests", 0),
+                    coalesced=usage.get("coalesced", 0),
+                    rejected=usage.get("rejected", 0),
+                )
+                for tenant, usage in sorted(self._usage.items())
+            }
+        return FleetSnapshot(
+            aggregate=aggregate,
+            replicas=replicas,
+            tenants=tenants,
+            requests=sum(u.requests for u in tenants.values()),
+            coalesced=sum(u.coalesced for u in tenants.values()),
+            admission_rejected=sum(u.rejected for u in tenants.values()),
+            p50_latency_s=quantiles[0.50],
+            p95_latency_s=quantiles[0.95],
+            p99_latency_s=quantiles[0.99],
+        )
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting requests and close every replica."""
+        self._closed = True
+        with self._replica_lock:
+            services = list(self._replicas.values())
+        for service in services:
+            service.close(wait=wait)
+
+    def __enter__(self) -> "TuningFleet":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _join_or_lead(self, key: InstanceKey) -> tuple[bool, Future]:
+        """Fleet-level coalescing: one in-flight resolve per key."""
+        with self._inflight_lock:
+            existing = self._inflight.get(key)
+            if existing is not None:
+                return False, existing
+            future: Future = Future()
+            self._inflight[key] = future
+            return True, future
+
+    def _account(self, tenant: str, event: str) -> None:
+        """Fleet-level per-tenant bookkeeping behind :meth:`snapshot`."""
+        with self._usage_lock:
+            usage = self._usage.setdefault(tenant, {})
+            usage[event] = usage.get(event, 0) + 1
+
+    def _finish(
+        self,
+        response: TuneResponse,
+        tenant: str,
+        replica_name: str,
+        started: float,
+        coalesced: bool = False,
+    ) -> TuneResponse:
+        self._latency.observe(time.perf_counter() - started)
+        return response.for_tenant(
+            tenant, replica=replica_name, coalesced=coalesced
+        )

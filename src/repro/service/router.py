@@ -1,0 +1,128 @@
+"""Deterministic shard routing for the tuning fleet.
+
+The fleet places every problem instance on exactly one replica so that
+replica's memory LRU and in-flight dedup see all the traffic for it —
+cache locality and exactly-one-sweep both fall out of routing being a
+pure function of the instance identity.  The router is a classic
+consistent-hash ring (SHA-256, many virtual nodes per replica) over
+:meth:`repro.service.keys.InstanceKey.routing_token`, which covers the
+device, setup, grid geometry, *and* model fingerprint — so two clients
+anywhere agree on the owner, and a model revision deterministically
+re-routes an instance instead of serving a stale assignment.
+
+Consistent hashing is what bounds churn: removing one of N replicas
+remaps only the keys that replica owned (an expected 1/N of the space);
+every other key keeps its owner.  Adding a replica is symmetric.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import threading
+
+from repro.errors import PipelineError
+from repro.service.keys import InstanceKey
+
+#: Virtual nodes per replica: enough to keep per-replica load within a
+#: few percent of uniform without making ring updates noticeable.
+DEFAULT_VNODES = 64
+
+
+def _ring_position(token: str) -> int:
+    """A stable 64-bit ring coordinate for ``token``."""
+    digest = hashlib.sha256(token.encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class ConsistentHashRouter:
+    """A thread-safe consistent-hash ring of named replicas.
+
+    Parameters
+    ----------
+    replicas:
+        Initial replica names (order-insensitive; the ring layout
+        depends only on the names themselves).
+    vnodes:
+        Virtual nodes per replica.
+    """
+
+    def __init__(self, replicas, vnodes: int = DEFAULT_VNODES):
+        if vnodes < 1:
+            raise PipelineError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._lock = threading.Lock()
+        self._positions: list[int] = []
+        self._owners: dict[int, str] = {}
+        self._replicas: set[str] = set()
+        for name in replicas:
+            self.add_replica(name)
+        if not self._replicas:
+            raise PipelineError("router needs at least one replica")
+
+    # ------------------------------------------------------------------
+    def replicas(self) -> list[str]:
+        """Current replica names, sorted."""
+        with self._lock:
+            return sorted(self._replicas)
+
+    def add_replica(self, name: str) -> None:
+        """Join ``name``: its vnodes claim their ring arcs from others."""
+        if not name:
+            raise PipelineError("replica name must be non-empty")
+        with self._lock:
+            if name in self._replicas:
+                raise PipelineError(f"replica {name!r} already routed")
+            self._replicas.add(name)
+            for i in range(self.vnodes):
+                position = _ring_position(f"{name}#{i}")
+                # A full SHA-256 collision between distinct vnode labels
+                # is effectively impossible; first writer keeps the slot.
+                if position in self._owners:
+                    continue
+                bisect.insort(self._positions, position)
+                self._owners[position] = name
+
+    def remove_replica(self, name: str) -> None:
+        """Leave ``name``: only the keys it owned move (to their next
+        clockwise vnode); every other key keeps its replica."""
+        with self._lock:
+            if name not in self._replicas:
+                raise PipelineError(f"replica {name!r} is not routed")
+            if len(self._replicas) == 1:
+                raise PipelineError("cannot remove the last replica")
+            self._replicas.discard(name)
+            dropped = [
+                p for p, owner in self._owners.items() if owner == name
+            ]
+            for position in dropped:
+                del self._owners[position]
+                index = bisect.bisect_left(self._positions, position)
+                del self._positions[index]
+
+    def route(self, key: InstanceKey) -> str:
+        """The replica owning ``key``: first vnode clockwise of its hash."""
+        return self.route_token(key.routing_token())
+
+    def route_token(self, token: str) -> str:
+        """Route a raw token (the :class:`InstanceKey`-free form)."""
+        position = _ring_position(token)
+        with self._lock:
+            if not self._positions:
+                raise PipelineError("router has no replicas")
+            index = bisect.bisect_right(self._positions, position)
+            if index == len(self._positions):
+                index = 0  # wrap: past the last vnode lands on the first
+            return self._owners[self._positions[index]]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._replicas)
+
+    def describe(self) -> str:
+        """One-line ring summary."""
+        with self._lock:
+            return (
+                f"{len(self._replicas)} replicas x {self.vnodes} vnodes "
+                f"({len(self._positions)} ring points)"
+            )

@@ -7,7 +7,9 @@ request path, in order:
 
 1. **Memory tier** — an LRU of complete sweeps; hits cost microseconds.
 2. **Disk tier** — persisted JSON sweeps (optional); a hit re-simulates,
-   verifies, and promotes the sweep into memory.
+   verifies, and promotes the sweep into memory.  In a
+   :class:`~repro.service.TuningFleet` the directory is shared, so this
+   tier is also the cross-replica warm-sharing channel.
 3. **In-flight deduplication** — N concurrent requests for the same
    instance share one sweep; followers just wait on the leader's future.
 4. **Admission control** — sweeps run on a bounded worker pool behind a
@@ -21,32 +23,41 @@ request path, in order:
    flagged ``degraded`` and never cached; the authoritative sweep, if one
    is running, still completes in the background and lands in the cache.
 
-Every step is metered through :class:`~repro.service.stats.ServiceStats`,
-which since the :mod:`repro.obs` consolidation is a view over
-``repro_service_*`` series of the process-wide metrics registry — so the
-same counters surface in ``repro obs export``.
+Since the fleet redesign the blessed request surface is
+:meth:`TuningService.resolve` taking a
+:class:`~repro.service.TuneRequest`; the original keyword surface
+:meth:`TuningService.get` survives as a warn-once deprecation shim over
+it.  Every step is metered through
+:class:`~repro.service.stats.ServiceStats`, which since the
+:mod:`repro.obs` consolidation is a view over ``repro_service_*`` series
+of the process-wide metrics registry — so the same counters surface in
+``repro obs export``.
 """
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
-from dataclasses import dataclass
 from typing import Callable
 
 from repro.astro.dm_trials import DMTrialGrid
 from repro.astro.observation import ObservationSetup
 from repro.core.heuristics import budgeted_tune
-from repro.core.tuner import AutoTuner, ConfigurationSample, TuningResult
+from repro.core.tuner import AutoTuner
 from repro.errors import PipelineError
 from repro.hardware.device import DeviceSpec
 from repro.obs import MetricsRegistry, span
 from repro.service.cache import DiskSweepStore, SweepLRUCache
 from repro.service.keys import InstanceKey
+from repro.service.request import ServiceResponse, TuneRequest, TuneResponse
 from repro.service.stats import ServiceStats, StatsSnapshot
 from repro.service.warmstart import warm_start_tune
+from repro.utils.deprecation import warn_once
+
+__all__ = ["ServiceResponse", "TuningService"]
 
 #: Factory signature the service uses to build tuners (injectable so
 #: tests can count or stall sweeps without monkey-patching).
@@ -54,37 +65,6 @@ TunerFactory = Callable[[DeviceSpec, ObservationSetup, dict], AutoTuner]
 
 #: Sentinel distinguishing "no per-request timeout" from "use default".
 _USE_DEFAULT = object()
-
-
-@dataclass(frozen=True)
-class ServiceResponse:
-    """One answered request: the sweep plus how it was produced.
-
-    ``source`` is one of ``memory``, ``disk``, ``sweep``, ``warm``,
-    ``warm-fallback``, ``degraded-timeout``, ``degraded-admission``.
-    Degraded responses carry a heuristic (budget-bounded) result rather
-    than the exhaustive optimum.
-    """
-
-    key: InstanceKey
-    result: TuningResult
-    source: str
-    elapsed_s: float
-    degraded: bool = False
-
-    @property
-    def best(self) -> ConfigurationSample:
-        """The optimal configuration sample of this response."""
-        return self.result.best
-
-    def describe(self) -> str:
-        """One-line summary for logs and CLI output."""
-        flag = " DEGRADED" if self.degraded else ""
-        return (
-            f"{self.key.describe()} -> {self.best.config.describe()} "
-            f"{self.best.gflops:.1f} GFLOP/s "
-            f"[{self.source}{flag}, {1e3 * self.elapsed_s:.1f} ms]"
-        )
 
 
 class TuningService:
@@ -95,7 +75,8 @@ class TuningService:
     capacity:
         Memory-tier LRU capacity (complete sweeps).
     store_dir:
-        Directory for the persistent tier; ``None`` disables it.
+        Directory for the persistent tier; ``None`` disables it.  Fleet
+        replicas share one directory — that is the warm-sharing channel.
     max_workers:
         Worker threads executing sweeps.
     queue_limit:
@@ -103,9 +84,11 @@ class TuningService:
         finds pool *and* queue full degrades immediately.
     timeout_s:
         Default per-request budget to wait for a sweep before degrading;
-        ``None`` waits indefinitely.
+        ``None`` waits indefinitely.  A request's ``budget`` field
+        overrides it per call.
     degraded_budget:
-        Model evaluations granted to the heuristic fallback.
+        Model evaluations granted to the heuristic fallback, before the
+        request's priority scaling.
     warm_start:
         Seed sweeps from the nearest cached neighbouring instance.
     warm_radius / warm_top_k / warm_probes:
@@ -116,7 +99,8 @@ class TuningService:
         e.g. ``"model-guided"``) used for cold sweeps instead of the
         exhaustive tuner; ``None`` keeps the paper's full sweep.
         Warm-started sweeps are unaffected (they already prune the
-        space).
+        space), and a request's own ``strategy`` field overrides this
+        default.
     degraded_strategy:
         Strategy used by the degradation path instead of
         :func:`repro.core.heuristics.budgeted_tune`; ``None`` keeps the
@@ -130,6 +114,10 @@ class TuningService:
     registry:
         The :class:`~repro.obs.MetricsRegistry` service metrics are
         recorded into (default: the process-wide registry).
+    name:
+        The ``instance`` label on this service's metric series; the
+        fleet names its replicas ``replica0..N-1`` through this.
+        Auto-assigned (``svc0``, ``svc1``, ...) when omitted.
     """
 
     def __init__(
@@ -149,6 +137,7 @@ class TuningService:
         space_kwargs: dict | None = None,
         tuner_factory: TunerFactory | None = None,
         registry: MetricsRegistry | None = None,
+        name: str | None = None,
     ):
         if max_workers < 1:
             raise PipelineError("max_workers must be >= 1")
@@ -166,9 +155,10 @@ class TuningService:
         self._tuner_factory = tuner_factory or (
             lambda device, setup, kwargs: AutoTuner(device, setup, kwargs)
         )
+        self.name = name
         self.cache = SweepLRUCache(capacity)
         self.store = DiskSweepStore(store_dir) if store_dir else None
-        self.stats = ServiceStats(registry=registry)
+        self.stats = ServiceStats(registry=registry, instance=name)
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-tune"
         )
@@ -180,26 +170,21 @@ class TuningService:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    def get(
-        self,
-        device: DeviceSpec,
-        setup: ObservationSetup,
-        grid: DMTrialGrid | int,
-        timeout_s: float | None | object = _USE_DEFAULT,
-    ) -> ServiceResponse:
-        """The tuned sweep for one instance, produced as cheaply as possible.
+    def resolve(self, request: TuneRequest) -> TuneResponse:
+        """The tuned sweep for ``request``, produced as cheaply as possible.
 
-        ``grid`` may be a full :class:`DMTrialGrid` or a bare DM count
-        (which uses the paper's default grid geometry).  ``timeout_s``
-        overrides the service default for this request only.
+        The one blessed request entrypoint: walks memory → disk →
+        deduplicated (possibly warm-started or strategy-driven) sweep →
+        heuristic degradation, honouring the request's ``budget`` and
+        ``priority`` and stamping the response with this service's name
+        and the request's tenant.
         """
         if self._closed:
             raise PipelineError("TuningService is closed")
-        if isinstance(grid, int):
-            grid = DMTrialGrid(n_dms=grid)
-        budget = (
-            self.timeout_s if timeout_s is _USE_DEFAULT else timeout_s
-        )
+        device = request.resolved_device()
+        setup = request.resolved_setup()
+        grid = request.resolved_grid()
+        budget = self._budget_seconds(request.budget)
         key = InstanceKey.for_instance(device, setup, grid)
         self.stats.incr("requests")
         started = time.perf_counter()
@@ -207,7 +192,7 @@ class TuningService:
         cached = self.cache.get(key)
         if cached is not None:
             self.stats.incr("hits_memory")
-            return self._respond(key, cached, "memory", started)
+            return self._respond(request, key, cached, "memory", started)
 
         if self.store is not None:
             present = key in self.store
@@ -215,37 +200,70 @@ class TuningService:
             if loaded is not None:
                 self.cache.put(key, loaded)
                 self.stats.incr("hits_disk")
-                return self._respond(key, loaded, "disk", started)
+                return self._respond(request, key, loaded, "disk", started)
             if present:
                 self.stats.incr("invalidations")
 
-        verdict, future = self._join_or_lead(key, device, setup, grid)
+        verdict, future = self._join_or_lead(key, device, setup, grid, request)
         if verdict == "cached":
             # The sweep we raced with completed between the cache check
             # and the in-flight check; its result is already cached.
             self.stats.incr("hits_memory")
-            return self._respond(key, self.cache.get(key), "memory", started)
+            return self._respond(
+                request, key, self.cache.get(key), "memory", started
+            )
         self.stats.incr("misses")
         if verdict == "rejected":  # admission control: pool and queue full
             self.stats.incr("degraded_admission")
-            return self._degrade(key, device, setup, grid, "admission", started)
+            return self._degrade(request, key, "admission", started)
         try:
             result, source = future.result(timeout=budget)
         except FutureTimeoutError:
             self.stats.incr("degraded_timeout")
-            return self._degrade(key, device, setup, grid, "timeout", started)
-        return self._respond(key, result, source, started)
+            return self._degrade(request, key, "timeout", started)
+        return self._respond(request, key, result, source, started)
+
+    def get(
+        self,
+        device: DeviceSpec,
+        setup: ObservationSetup,
+        grid: DMTrialGrid | int,
+        timeout_s: float | None | object = _USE_DEFAULT,
+    ) -> TuneResponse:
+        """Deprecated keyword surface; use :meth:`resolve` instead.
+
+        ``grid`` may be a full :class:`DMTrialGrid` or a bare DM count
+        (which uses the paper's default grid geometry).  ``timeout_s``
+        overrides the service default for this request only
+        (``None`` = wait indefinitely, which the request API spells
+        ``budget=math.inf``).
+        """
+        warn_once(
+            "TuningService.get",
+            "TuningService.get(device, setup, grid) is deprecated; build "
+            "a TuneRequest and resolve it, e.g. ServiceClient(service)"
+            ".resolve(TuneRequest(setup=setup, n_dms=grid, device=device))",
+        )
+        if timeout_s is _USE_DEFAULT:
+            budget = None
+        elif timeout_s is None:
+            budget = math.inf
+        else:
+            budget = timeout_s
+        return self.resolve(
+            TuneRequest(setup=setup, n_dms=grid, device=device, budget=budget)
+        )
 
     def warm_up(
         self,
         device: DeviceSpec,
         setup: ObservationSetup,
         instances,
-    ) -> list[ServiceResponse]:
+    ) -> list[TuneResponse]:
         """Pre-tune a series of instances (smallest first, so each sweep
         can warm-start from the previous one)."""
         return [
-            self.get(device, setup, n)
+            self.resolve(TuneRequest(setup=setup, n_dms=n, device=device))
             for n in sorted(instances, key=lambda g: (
                 g.n_dms if isinstance(g, DMTrialGrid) else g
             ))
@@ -270,11 +288,39 @@ class TuningService:
 
         if isinstance(grid, int):
             grid = DMTrialGrid(n_dms=grid)
-        response = self.get(device, setup, grid)
+        response = self.resolve(
+            TuneRequest(setup=setup, n_dms=grid, device=device)
+        )
         model = PerformanceModel(device, setup, grid)
         return model.simulate(
             response.best.config, samples=samples, validate=False
         ).seconds
+
+    def degrade(
+        self, request: TuneRequest, reason: str = "admission"
+    ) -> TuneResponse:
+        """A heuristic answer without touching the sweep path.
+
+        The fleet's per-tenant admission layer calls this when a tenant
+        is out of tokens: the request is answered on the caller's thread
+        by the budgeted heuristic (or the configured degraded strategy),
+        counted against this replica's ``degraded_admission`` stats, and
+        never cached — exactly the service's own over-capacity path, so
+        a throttled tenant and an overloaded pool look identical
+        downstream.
+        """
+        if self._closed:
+            raise PipelineError("TuningService is closed")
+        if reason not in ("admission", "timeout"):
+            raise PipelineError(
+                f"unknown degradation reason {reason!r} "
+                "(expected 'admission' or 'timeout')"
+            )
+        started = time.perf_counter()
+        self.stats.incr("requests")
+        self.stats.incr(f"degraded_{reason}")
+        key = request.key()
+        return self._degrade(request, key, reason, started)
 
     def snapshot(self) -> StatsSnapshot:
         """Current service counters."""
@@ -303,22 +349,33 @@ class TuningService:
 
         return build_strategy(spec)
 
+    def _budget_seconds(self, budget: float | None) -> float | None:
+        """Request budget -> ``Future.result`` timeout semantics."""
+        if budget is None:
+            return self.timeout_s
+        if math.isinf(budget):
+            return None
+        return budget
+
     def _respond(
         self,
+        request: TuneRequest,
         key: InstanceKey,
-        result: TuningResult,
+        result,
         source: str,
         started: float,
         degraded: bool = False,
-    ) -> ServiceResponse:
+    ) -> TuneResponse:
         elapsed = time.perf_counter() - started
         self.stats.record_latency(elapsed)
-        return ServiceResponse(
+        return TuneResponse(
             key=key,
             result=result,
             source=source,
             elapsed_s=elapsed,
             degraded=degraded,
+            tenant=request.tenant,
+            replica=self.name,
         )
 
     def _join_or_lead(
@@ -327,6 +384,7 @@ class TuningService:
         device: DeviceSpec,
         setup: ObservationSetup,
         grid: DMTrialGrid,
+        request: TuneRequest,
     ) -> tuple[str, Future | None]:
         """Join the in-flight sweep for ``key`` or start one.
 
@@ -351,9 +409,12 @@ class TuningService:
                 return "cached", None
             if not self._admission.acquire(blocking=False):
                 return "rejected", None
+            strategy = (
+                self._resolve_strategy(request.strategy) or self.strategy
+            )
             try:
                 future = self._pool.submit(
-                    self._tune_job, key, device, setup, grid
+                    self._tune_job, key, device, setup, grid, strategy
                 )
             except BaseException:
                 self._admission.release()
@@ -367,7 +428,8 @@ class TuningService:
         device: DeviceSpec,
         setup: ObservationSetup,
         grid: DMTrialGrid,
-    ) -> tuple[TuningResult, str]:
+        strategy,
+    ):
         """Worker-side sweep: warm-started when a neighbour is cached."""
         try:
             with span(
@@ -392,10 +454,10 @@ class TuningService:
                         self.stats.incr("warm_fallbacks")
                     result = report.result
                     source = "warm-fallback" if report.fell_back else "warm"
-                elif self.strategy is not None:
-                    outcome = self.strategy.search(tuner, grid)
+                elif strategy is not None:
+                    outcome = strategy.search(tuner, grid)
                     result = outcome.result
-                    source = f"strategy-{self.strategy.name}"
+                    source = f"strategy-{strategy.name}"
                     self.stats.incr("strategy_searches")
                 else:
                     result = tuner.tune(grid)
@@ -416,13 +478,11 @@ class TuningService:
 
     def _degrade(
         self,
+        request: TuneRequest,
         key: InstanceKey,
-        device: DeviceSpec,
-        setup: ObservationSetup,
-        grid: DMTrialGrid,
         reason: str,
         started: float,
-    ) -> ServiceResponse:
+    ) -> TuneResponse:
         """Heuristic answer when the tuning budget is exhausted.
 
         Runs on the *caller's* thread (it must not need pool capacity —
@@ -432,19 +492,25 @@ class TuningService:
         ``degraded_strategy`` configured the fallback is that strategy's
         search instead of the budgeted heuristic; either way the model
         evaluations actually spent are surfaced in
-        ``ServiceStats.degraded_evaluations``.
+        ``ServiceStats.degraded_evaluations``, and the request's
+        priority scales the evaluation budget granted.
         """
+        device = request.resolved_device()
+        setup = request.resolved_setup()
+        grid = request.resolved_grid()
         if self.degraded_strategy is not None:
             tuner = self._tuner_factory(device, setup, self.space_kwargs)
             search = self.degraded_strategy.search(tuner, grid)
             result, evaluated = search.result, search.measurements
         else:
             outcome = budgeted_tune(
-                device, setup, grid, budget=self.degraded_budget
+                device, setup, grid,
+                budget=request.degraded_budget(self.degraded_budget),
             )
             result, evaluated = outcome.result, outcome.evaluations
         self.stats.incr("degraded_evaluations", by=evaluated)
         return self._respond(
+            request,
             key,
             result,
             f"degraded-{reason}",

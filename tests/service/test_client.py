@@ -1,0 +1,118 @@
+"""ServiceClient: one entrypoint over single service and fleet.
+
+Pins the API-redesign acceptance criteria: ``resolve(TuneRequest)``
+returns answers identical to the legacy ``TuningService.get(...)``, the
+legacy path warns exactly once per process, and the same client code
+works unchanged against a :class:`TuningFleet`.
+"""
+
+import warnings
+
+import pytest
+
+from repro.astro.dm_trials import DMTrialGrid
+from repro.astro.observation import apertif
+from repro.errors import PipelineError
+from repro.hardware.catalog import hd7970
+from repro.service import (
+    ServiceClient,
+    TuneRequest,
+    TuneResponse,
+    TuningFleet,
+    TuningService,
+)
+from repro.utils.deprecation import reset_deprecation_warning
+from tests.service.test_service import counting_factory
+
+DEVICE = hd7970()
+
+
+def request_32(**kwargs):
+    return TuneRequest(setup="apertif", n_dms=32, device="HD7970", **kwargs)
+
+
+class TestResolveVersusLegacyGet:
+    def test_resolve_equals_get_and_shares_one_sweep(self):
+        calls = []
+        with TuningService(
+            tuner_factory=counting_factory(calls), warm_start=False
+        ) as service:
+            via_resolve = ServiceClient(service).resolve(request_32())
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                via_get = service.get(DEVICE, apertif(), DMTrialGrid(32))
+        assert len(calls) == 1  # the second path was a cache hit
+        assert via_resolve.key == via_get.key
+        assert via_resolve.best.config == via_get.best.config
+        assert via_resolve.best.gflops == via_get.best.gflops
+        assert not via_resolve.degraded and not via_get.degraded
+
+    def test_legacy_get_warns_exactly_once(self):
+        reset_deprecation_warning("TuningService.get")
+        with TuningService(warm_start=False, max_workers=1) as service:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                service.get(DEVICE, apertif(), DMTrialGrid(16))
+                service.get(DEVICE, apertif(), DMTrialGrid(16))
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "resolve" in str(deprecations[0].message)
+
+    def test_legacy_get_returns_a_tune_response(self):
+        with TuningService(warm_start=False, max_workers=1) as service:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                response = service.get(DEVICE, apertif(), DMTrialGrid(16))
+        assert isinstance(response, TuneResponse)
+
+
+class TestClientSurface:
+    def test_same_client_code_works_on_service_and_fleet(self, tmp_path):
+        with TuningService(store_dir=tmp_path / "single") as service:
+            single = ServiceClient(service).resolve(request_32())
+        with TuningFleet(replicas=2, store_dir=tmp_path / "fleet") as fleet:
+            fanned = ServiceClient(fleet).resolve(request_32())
+        assert single.key == fanned.key
+        assert single.best.config == fanned.best.config
+        assert fanned.replica is not None  # fleet provenance rides along
+        assert single.replica is None or isinstance(single.replica, str)
+
+    def test_client_stamps_default_tenant(self):
+        seen = []
+
+        class Recorder:
+            def resolve(self, request):
+                seen.append(request)
+                return request  # good enough for the test
+
+        client = ServiceClient(Recorder(), tenant="survey")
+        client.resolve(request_32())
+        client.resolve(request_32(tenant="explicit"))
+        assert seen[0].tenant == "survey"  # default replaced
+        assert seen[1].tenant == "explicit"  # caller's tenant wins
+
+    def test_rejects_backend_without_resolve(self):
+        with pytest.raises(PipelineError, match="resolve"):
+            ServiceClient(object())
+
+    def test_rejects_non_request_arguments(self):
+        with TuningService(max_workers=1) as service:
+            client = ServiceClient(service)
+            with pytest.raises(PipelineError, match="TuneRequest"):
+                client.resolve({"setup": "apertif"})
+
+    def test_context_manager_closes_backend(self):
+        closed = []
+
+        class Closable:
+            def resolve(self, request):
+                return request
+
+            def close(self, wait=True):
+                closed.append(wait)
+
+        with ServiceClient(Closable()):
+            pass
+        assert closed == [True]

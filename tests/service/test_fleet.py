@@ -1,0 +1,277 @@
+"""Behavioural tests for the multi-tenant TuningFleet.
+
+Pins the tentpole acceptance criteria:
+
+* M tenants concurrently requesting the same instance trigger exactly
+  one underlying search, and every tenant gets its own response (the
+  followers marked ``coalesced``);
+* a fingerprint tuned once via any replica is a cache hit from every
+  other replica sharing the store (warm sharing);
+* an aggressor tenant exhausting its token bucket degrades only itself;
+* routing is deterministic and membership churn remaps boundedly.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.tuner import AutoTuner
+from repro.errors import PipelineError
+from repro.obs import MetricsRegistry
+from repro.service import TenantAdmission, TuneRequest, TuningFleet
+from tests.service.test_admission import FakeClock
+from tests.service.test_service import counting_factory, wait_until
+
+
+def request_for(n_dms: int, **kwargs) -> TuneRequest:
+    return TuneRequest(
+        setup="apertif", n_dms=n_dms, device="HD7970", **kwargs
+    )
+
+
+def make_fleet(**kwargs) -> TuningFleet:
+    kwargs.setdefault("registry", MetricsRegistry())
+    return TuningFleet(**kwargs)
+
+
+class TestCoalescing:
+    def test_m_tenants_one_search_m_responses(self):
+        tenants = 5
+        calls = []
+        started, release = threading.Event(), threading.Event()
+
+        def factory(device, setup, kwargs):
+            class GatedCountingTuner(AutoTuner):
+                def tune(self, grid, samples=None, candidates=None):
+                    calls.append(grid.n_dms)
+                    started.set()
+                    assert release.wait(timeout=10.0)
+                    return super().tune(grid, samples, candidates)
+
+            return GatedCountingTuner(device, setup, kwargs)
+
+        responses: dict[str, object] = {}
+        with make_fleet(
+            replicas=2, tuner_factory=factory, warm_start=False
+        ) as fleet:
+            def one(tenant: str) -> None:
+                responses[tenant] = fleet.resolve(
+                    request_for(32, tenant=tenant)
+                )
+
+            leader = threading.Thread(target=one, args=("tenant0",))
+            leader.start()
+            assert started.wait(timeout=10.0)
+            followers = [
+                threading.Thread(target=one, args=(f"tenant{i}",))
+                for i in range(1, tenants)
+            ]
+            for thread in followers:
+                thread.start()
+            # Followers register as coalesced before blocking on the
+            # leader's future; wait for all of them to join, then release.
+            assert wait_until(
+                lambda: fleet.snapshot().coalesced == tenants - 1
+            )
+            release.set()
+            leader.join(timeout=10.0)
+            for thread in followers:
+                thread.join(timeout=10.0)
+
+            assert len(calls) == 1  # exactly one underlying search
+            assert len(responses) == tenants
+            flags = sorted(r.coalesced for r in responses.values())
+            assert flags == [False] + [True] * (tenants - 1)
+            configs = {r.best.config for r in responses.values()}
+            assert len(configs) == 1  # everyone got the same answer
+            for tenant, response in responses.items():
+                assert response.tenant == tenant
+            snap = fleet.snapshot()
+            assert snap.requests == tenants
+            assert snap.coalesced == tenants - 1
+            assert snap.aggregate.sweeps == 1
+
+    def test_sequential_requests_hit_cache_not_coalesce(self):
+        with make_fleet(replicas=2, warm_start=False) as fleet:
+            first = fleet.resolve(request_for(16, tenant="a"))
+            second = fleet.resolve(request_for(16, tenant="b"))
+        assert not first.coalesced and not second.coalesced
+        assert second.source == "memory"
+
+
+class TestWarmSharing:
+    def test_fingerprint_tuned_once_is_a_hit_from_every_replica(
+        self, tmp_path
+    ):
+        calls = []
+        with make_fleet(
+            replicas=4,
+            store_dir=tmp_path,
+            tuner_factory=counting_factory(calls),
+            warm_start=False,
+        ) as fleet:
+            request = request_for(48)
+            routed = fleet.resolve(request)
+            assert routed.source == "sweep"
+            owner = routed.replica
+            for name in fleet.replica_names():
+                if name == owner:
+                    continue
+                shared = fleet.replica(name).resolve(request)
+                assert shared.source == "disk"
+            assert len(calls) == 1  # nobody re-swept
+
+    def test_without_shared_store_other_replicas_resweep(self):
+        calls = []
+        with make_fleet(
+            replicas=2,
+            tuner_factory=counting_factory(calls),
+            warm_start=False,
+        ) as fleet:
+            request = request_for(48)
+            routed = fleet.resolve(request)
+            other = next(
+                name for name in fleet.replica_names()
+                if name != routed.replica
+            )
+            assert fleet.replica(other).resolve(request).source == "sweep"
+            assert len(calls) == 2
+
+    def test_joined_replica_starts_warm_from_the_store(self, tmp_path):
+        calls = []
+        with make_fleet(
+            replicas=1,
+            store_dir=tmp_path,
+            tuner_factory=counting_factory(calls),
+            warm_start=False,
+        ) as fleet:
+            request = request_for(48)
+            fleet.resolve(request)
+            joined = fleet.add_replica()
+            response = fleet.replica(joined).resolve(request)
+            assert response.source == "disk"
+            assert len(calls) == 1
+
+
+class TestAdmission:
+    def test_aggressor_degrades_only_itself(self):
+        clock = FakeClock()
+        admission = TenantAdmission(
+            capacity=2, refill_per_s=0.0, clock=clock
+        )
+        with make_fleet(
+            replicas=2, admission=admission, warm_start=False
+        ) as fleet:
+            aggressor = [
+                fleet.resolve(request_for(16, tenant="aggressor"))
+                for _ in range(5)
+            ]
+            victim = [
+                fleet.resolve(request_for(16, tenant="victim"))
+                for _ in range(2)
+            ]
+        assert [r.degraded for r in aggressor] == [
+            False, False, True, True, True,
+        ]
+        assert all(
+            r.source == "degraded-admission"
+            for r in aggressor if r.degraded
+        )
+        assert [r.degraded for r in victim] == [False, False]
+        snap = fleet.snapshot()
+        assert snap.tenants["aggressor"].rejected == 3
+        assert snap.tenants["victim"].rejected == 0
+        assert snap.admission_rejected == 3
+
+    def test_throttled_answers_are_never_cached(self):
+        clock = FakeClock()
+        admission = TenantAdmission(
+            capacity=1, refill_per_s=0.0, clock=clock
+        )
+        with make_fleet(
+            replicas=1, admission=admission, warm_start=False
+        ) as fleet:
+            first = fleet.resolve(request_for(16, tenant="t"))
+            throttled = fleet.resolve(request_for(24, tenant="t"))
+            assert not first.degraded and throttled.degraded
+            # Re-admitting the instance later performs the real sweep.
+            clock.advance(0.0)
+            admission.bucket("t")._tokens = 1.0
+            real = fleet.resolve(request_for(24, tenant="t"))
+            assert not real.degraded
+            assert real.source == "sweep"
+
+    def test_priority_scales_the_degraded_budget(self):
+        def degraded_evaluations(priority: str) -> int:
+            admission = TenantAdmission(
+                capacity=1, refill_per_s=0.0, clock=FakeClock()
+            )
+            with make_fleet(
+                replicas=1, admission=admission, warm_start=False,
+                degraded_budget=8,
+            ) as fleet:
+                fleet.resolve(request_for(16, tenant="t"))  # drain bucket
+                response = fleet.resolve(
+                    request_for(24, tenant="t", priority=priority)
+                )
+                assert response.degraded
+                return fleet.snapshot().aggregate.degraded_evaluations
+
+        # high priority quadruples low's evaluation budget (16 vs 4);
+        # the heuristic always spends at least its probe half.
+        assert degraded_evaluations("high") > degraded_evaluations("low")
+
+
+class TestRoutingAndMembership:
+    def test_same_instance_always_lands_on_one_replica(self):
+        with make_fleet(replicas=3, warm_start=False) as fleet:
+            responses = [
+                fleet.resolve(request_for(16, tenant=f"t{i}"))
+                for i in range(6)
+            ]
+        assert len({r.replica for r in responses}) == 1
+
+    def test_remove_replica_reroutes_its_instances(self, tmp_path):
+        with make_fleet(
+            replicas=3, store_dir=tmp_path, warm_start=False
+        ) as fleet:
+            request = request_for(32)
+            owner = fleet.resolve(request).replica
+            fleet.remove_replica(owner)
+            response = fleet.resolve(request)
+            assert response.replica != owner
+            assert response.source == "disk"  # warm via the shared store
+
+    def test_replica_names_and_lookup(self):
+        with make_fleet(replicas=["east", "west"]) as fleet:
+            assert fleet.replica_names() == ["east", "west"]
+            assert fleet.replica("east") is not fleet.replica("west")
+            with pytest.raises(PipelineError):
+                fleet.replica("north")
+
+    def test_rejects_bad_membership(self):
+        with pytest.raises(PipelineError):
+            TuningFleet(replicas=0, registry=MetricsRegistry())
+        with pytest.raises(PipelineError):
+            TuningFleet(replicas=["a", "a"], registry=MetricsRegistry())
+        with make_fleet(replicas=1) as fleet:
+            with pytest.raises(PipelineError):
+                fleet.remove_replica("replica0")
+
+    def test_closed_fleet_refuses_requests(self):
+        fleet = make_fleet(replicas=1)
+        fleet.close()
+        with pytest.raises(PipelineError):
+            fleet.resolve(request_for(16))
+
+    def test_snapshot_aggregates_replica_counters(self):
+        with make_fleet(replicas=2, warm_start=False) as fleet:
+            for n_dms in (16, 24, 32):
+                fleet.resolve(request_for(n_dms))
+                fleet.resolve(request_for(n_dms))
+            snap = fleet.snapshot()
+        per_replica = sum(s.requests for s in snap.replicas.values())
+        assert snap.aggregate.requests == per_replica == 6
+        assert snap.aggregate.sweeps == 3
+        assert snap.aggregate.hits_memory == 3
+        assert snap.p95_latency_s >= snap.p50_latency_s >= 0.0

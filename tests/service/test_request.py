@@ -1,0 +1,121 @@
+"""Validation and resolution semantics of TuneRequest/TuneResponse."""
+
+import math
+
+import pytest
+
+from repro.astro.dm_trials import DMTrialGrid
+from repro.astro.observation import apertif, lofar
+from repro.errors import ValidationError
+from repro.hardware.catalog import hd7970
+from repro.service import PRIORITIES, TuneRequest
+from repro.service.request import PRIORITY_BUDGET_SCALE
+
+DEVICE = hd7970()
+
+
+class TestValidation:
+    def test_defaults_are_normal_priority_default_tenant(self):
+        request = TuneRequest(setup="apertif", n_dms=32, device="HD7970")
+        assert request.tenant == "default"
+        assert request.priority == "normal"
+        assert request.budget is None
+        assert request.strategy is None
+
+    @pytest.mark.parametrize("tenant", ["", None, 7])
+    def test_rejects_bad_tenant(self, tenant):
+        with pytest.raises(ValidationError):
+            TuneRequest(
+                setup="apertif", n_dms=32, device="HD7970", tenant=tenant
+            )
+
+    def test_rejects_unknown_priority(self):
+        with pytest.raises(ValidationError):
+            TuneRequest(
+                setup="apertif", n_dms=32, device="HD7970", priority="urgent"
+            )
+
+    @pytest.mark.parametrize("budget", [-1.0, -math.inf, "fast"])
+    def test_rejects_bad_budget(self, budget):
+        with pytest.raises(ValidationError):
+            TuneRequest(
+                setup="apertif", n_dms=32, device="HD7970", budget=budget
+            )
+
+    def test_accepts_inf_and_zero_budget(self):
+        for budget in (0, 0.0, math.inf):
+            request = TuneRequest(
+                setup="apertif", n_dms=32, device="HD7970", budget=budget
+            )
+            assert request.budget == budget
+
+    @pytest.mark.parametrize("n_dms", [0, -4, "many", 3.5])
+    def test_rejects_bad_n_dms(self, n_dms):
+        with pytest.raises(ValidationError):
+            TuneRequest(setup="apertif", n_dms=n_dms, device="HD7970")
+
+    def test_request_is_frozen(self):
+        request = TuneRequest(setup="apertif", n_dms=32, device="HD7970")
+        with pytest.raises(Exception):
+            request.tenant = "other"
+
+
+class TestResolution:
+    def test_names_resolve_to_catalogue_objects(self):
+        request = TuneRequest(setup="apertif", n_dms=32, device="HD7970")
+        assert request.resolved_setup().name == apertif().name
+        assert request.resolved_device().name == DEVICE.name
+        assert request.resolved_grid().n_dms == 32
+
+    def test_objects_pass_through_unchanged(self):
+        grid = DMTrialGrid(n_dms=64)
+        request = TuneRequest(setup=lofar(), n_dms=grid, device=DEVICE)
+        assert request.resolved_setup() is request.setup
+        assert request.resolved_device() is DEVICE
+        assert request.resolved_grid() is grid
+
+    def test_unknown_setup_name_rejected(self):
+        request = TuneRequest(setup="ska-mid", n_dms=32, device="HD7970")
+        with pytest.raises(ValidationError, match="unknown setup"):
+            request.resolved_setup()
+
+    def test_key_is_identical_for_names_and_objects(self):
+        by_name = TuneRequest(setup="apertif", n_dms=32, device="HD7970")
+        by_object = TuneRequest(
+            setup=apertif(), n_dms=DMTrialGrid(n_dms=32), device=DEVICE
+        )
+        assert by_name.key() == by_object.key()
+
+    def test_key_ignores_tenant_strategy_budget_priority(self):
+        base = TuneRequest(setup="apertif", n_dms=32, device="HD7970")
+        varied = TuneRequest(
+            setup="apertif", n_dms=32, device="HD7970",
+            tenant="other", strategy="halving", budget=1.5, priority="high",
+        )
+        assert base.key() == varied.key()
+
+    def test_describe_names_tenant_and_priority(self):
+        request = TuneRequest(
+            setup="apertif", n_dms=32, device="HD7970",
+            tenant="survey", priority="high",
+        )
+        text = request.describe()
+        assert "survey" in text and "high" in text and "32 DMs" in text
+
+
+class TestPriorityBudget:
+    def test_priority_scales_degraded_budget(self):
+        for priority in PRIORITIES:
+            request = TuneRequest(
+                setup="apertif", n_dms=32, device="HD7970", priority=priority
+            )
+            expected = max(
+                1, int(48 * PRIORITY_BUDGET_SCALE[priority])
+            )
+            assert request.degraded_budget(48) == expected
+
+    def test_budget_never_drops_below_one_evaluation(self):
+        request = TuneRequest(
+            setup="apertif", n_dms=32, device="HD7970", priority="low"
+        )
+        assert request.degraded_budget(1) == 1

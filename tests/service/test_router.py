@@ -1,0 +1,127 @@
+"""Property tests for the consistent-hash router.
+
+The fleet's correctness rests on two routing properties: determinism
+(every observer agrees on an instance's owner, forever) and bounded
+remap (membership churn moves only the affected replica's keys).  Both
+are checked here over arbitrary token populations and replica sets.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.astro.dm_trials import DMTrialGrid
+from repro.astro.observation import apertif
+from repro.errors import PipelineError
+from repro.hardware.catalog import hd7970
+from repro.service import ConsistentHashRouter, InstanceKey
+
+replica_sets = st.lists(
+    st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz0123456789-",
+        min_size=1,
+        max_size=12,
+    ),
+    min_size=2,
+    max_size=8,
+    unique=True,
+)
+
+tokens = st.lists(
+    st.text(min_size=1, max_size=40), min_size=1, max_size=64, unique=True
+)
+
+
+class TestDeterminism:
+    @given(replicas=replica_sets, token=st.text(min_size=1, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_independent_routers_agree(self, replicas, token):
+        a = ConsistentHashRouter(replicas, vnodes=16)
+        b = ConsistentHashRouter(list(reversed(replicas)), vnodes=16)
+        assert a.route_token(token) == b.route_token(token)
+        assert a.route_token(token) in replicas
+
+    @given(replicas=replica_sets, batch=tokens)
+    @settings(max_examples=30, deadline=None)
+    def test_routing_is_stable_across_calls(self, replicas, batch):
+        router = ConsistentHashRouter(replicas, vnodes=16)
+        first = {token: router.route_token(token) for token in batch}
+        again = {token: router.route_token(token) for token in batch}
+        assert first == again
+
+    def test_instance_keys_route_like_their_tokens(self):
+        router = ConsistentHashRouter(["a", "b", "c"])
+        key = InstanceKey.for_instance(
+            hd7970(), apertif(), DMTrialGrid(n_dms=64)
+        )
+        assert router.route(key) == router.route_token(key.routing_token())
+
+
+class TestBoundedRemap:
+    @given(replicas=replica_sets, batch=tokens)
+    @settings(max_examples=30, deadline=None)
+    def test_removal_remaps_only_the_removed_replicas_keys(
+        self, replicas, batch
+    ):
+        router = ConsistentHashRouter(replicas, vnodes=16)
+        before = {token: router.route_token(token) for token in batch}
+        removed = sorted(replicas)[0]
+        router.remove_replica(removed)
+        for token in batch:
+            after = router.route_token(token)
+            assert after != removed
+            if before[token] != removed:
+                assert after == before[token]
+
+    @given(replicas=replica_sets, batch=tokens)
+    @settings(max_examples=30, deadline=None)
+    def test_join_steals_keys_only_for_itself(self, replicas, batch):
+        router = ConsistentHashRouter(replicas, vnodes=16)
+        before = {token: router.route_token(token) for token in batch}
+        joined = "zz-joined"
+        router.add_replica(joined)
+        for token in batch:
+            after = router.route_token(token)
+            assert after in (before[token], joined)
+
+    @given(replicas=replica_sets, batch=tokens)
+    @settings(max_examples=30, deadline=None)
+    def test_leave_then_rejoin_restores_the_original_map(
+        self, replicas, batch
+    ):
+        router = ConsistentHashRouter(replicas, vnodes=16)
+        before = {token: router.route_token(token) for token in batch}
+        removed = sorted(replicas)[-1]
+        router.remove_replica(removed)
+        router.add_replica(removed)
+        assert before == {
+            token: router.route_token(token) for token in batch
+        }
+
+
+class TestMembership:
+    def test_refuses_empty_ring(self):
+        with pytest.raises(PipelineError):
+            ConsistentHashRouter([])
+
+    def test_refuses_removing_the_last_replica(self):
+        router = ConsistentHashRouter(["only"])
+        with pytest.raises(PipelineError):
+            router.remove_replica("only")
+
+    def test_refuses_duplicate_join(self):
+        router = ConsistentHashRouter(["a"])
+        with pytest.raises(PipelineError):
+            router.add_replica("a")
+
+    def test_refuses_removing_unknown(self):
+        router = ConsistentHashRouter(["a", "b"])
+        with pytest.raises(PipelineError):
+            router.remove_replica("c")
+
+    def test_load_spreads_over_replicas(self):
+        router = ConsistentHashRouter(["a", "b", "c", "d"])
+        owners = {
+            router.route_token(f"token-{i}") for i in range(256)
+        }
+        assert owners == {"a", "b", "c", "d"}

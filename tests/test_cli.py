@@ -110,25 +110,51 @@ class TestStudy:
 
 
 class TestService:
-    def test_serves_concurrent_clients_and_prints_stats(self, capsys):
+    def test_serves_concurrent_tenants_and_prints_stats(self, capsys):
         code = main([
             "service",
             "--instances", "16,32",
-            "--clients", "2",
-            "--requests", "2",
+            "--tenants", "2",
+            "--load", "2",
         ])
         assert code == 0
         out = capsys.readouterr().out
         assert "sweeps executed" in out
         assert "hit rate" in out
         assert "16 DMs" in out and "32 DMs" in out
+        assert "tenant tenant0" in out and "tenant tenant1" in out
+
+    def test_legacy_client_flags_still_parse(self, capsys):
+        code = main([
+            "service",
+            "--instances", "16",
+            "--clients", "1",
+            "--requests", "1",
+            "--no-smoke",
+        ])
+        assert code == 0
+        assert "sweeps executed" in capsys.readouterr().out
+
+    def test_replicas_run_as_a_fleet(self, capsys):
+        code = main([
+            "service",
+            "--instances", "16,32",
+            "--tenants", "2",
+            "--load", "2",
+            "--replicas", "2",
+            "--no-smoke",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fleet:" in out
+        assert "replica0" in out and "replica1" in out
 
     def test_warm_up_reports_each_instance(self, capsys):
         code = main([
             "service",
             "--instances", "16,32",
-            "--clients", "1",
-            "--requests", "1",
+            "--tenants", "1",
+            "--load", "1",
             "--warm-up",
         ])
         assert code == 0
@@ -140,8 +166,8 @@ class TestService:
         argv = [
             "service",
             "--instances", "16",
-            "--clients", "1",
-            "--requests", "1",
+            "--tenants", "1",
+            "--load", "1",
             "--store", str(tmp_path),
         ]
         assert main(argv) == 0
@@ -151,6 +177,23 @@ class TestService:
         import re
 
         assert re.search(r"cache hits \(disk\)\s*: 1\b", out)
+
+    def test_admission_throttles_under_load(self, capsys):
+        code = main([
+            "service",
+            "--instances", "16",
+            "--tenants", "2",
+            "--load", "4",
+            "--admission-rate", "0.001",
+            "--admission-burst", "1",
+            "--no-smoke",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        import re
+
+        match = re.search(r"(\d+) throttled;", out)
+        assert match and int(match.group(1)) > 0
 
     def test_rejects_empty_instances(self, capsys):
         assert main(["service", "--instances", ""]) == 2

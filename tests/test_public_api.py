@@ -41,7 +41,9 @@ class TestCuratedAll:
 
     def test_service_names_are_blessed(self):
         for name in ("TuningService", "ServiceResponse", "ServiceStats",
-                     "StatsSnapshot"):
+                     "StatsSnapshot", "TuningFleet", "ServiceClient",
+                     "TuneRequest", "TuneResponse", "TenantAdmission",
+                     "FleetSnapshot"):
             assert name in repro.__all__
 
     def test_blessed_objects_match_home_modules(self):

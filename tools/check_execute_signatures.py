@@ -89,6 +89,25 @@ PINNED: dict[str, tuple[str, tuple[str, ...]]] = {
         "repro/pipeline/multibeam.py",
         ("n_beams", "duration_s"),
     ),
+    # The PR-10 service API redesign: resolve(request) is the one
+    # blessed entrypoint at both scales; the legacy keyword get() is a
+    # warn-once shim frozen at exactly this surface.
+    "TuningService.get": (
+        "repro/service/service.py",
+        ("device", "setup", "grid", "timeout_s"),
+    ),
+    "TuningService.resolve": (
+        "repro/service/service.py",
+        ("request",),
+    ),
+    "TuningFleet.resolve": (
+        "repro/service/fleet.py",
+        ("request",),
+    ),
+    "ServiceClient.resolve": (
+        "repro/service/client.py",
+        ("request",),
+    ),
 }
 
 #: Spellings the redesign retired; none may reappear in an
@@ -108,7 +127,7 @@ ALIASES: dict[str, str] = {
 }
 
 #: Function-name families the alias ban sweeps over.
-FAMILIES = ("execute", "generate", "add_to")
+FAMILIES = ("execute", "generate", "add_to", "resolve")
 
 
 def _signature(node: ast.FunctionDef) -> tuple[str, ...]:
